@@ -1,0 +1,40 @@
+"""Shared fixtures for the experiment harness.
+
+Every benchmark regenerates one of the paper's tables or figures,
+prints it, writes it under ``benchmarks/results/``, and asserts the
+paper's qualitative claims (who wins, by roughly what factor).  All
+instruction budgets are scaled down by WORK_SCALE — scaling affects
+native and baseline identically, so every reported *ratio* is
+unaffected; absolute simulated times are simply WORK_SCALE times
+shorter than a full-size run.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+# Global downscale of workload instruction budgets for harness speed.
+WORK_SCALE = 0.01
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_result(results_dir):
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

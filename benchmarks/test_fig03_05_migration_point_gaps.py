@@ -1,0 +1,67 @@
+"""Figures 3-5 — instructions between migration points, pre vs post
+profile-guided insertion (CG, IS, FT, class A).
+
+"Pre" is the boundary-only build (migration points at function entry
+and exit); "Post" adds the profiler-guided points that strip-mine long
+bursts down to the ~50M-instruction scheduling quantum.
+"""
+
+import pytest
+
+from conftest import WORK_SCALE, run_once
+from repro.compiler import Toolchain
+from repro.compiler.migration_points import DEFAULT_TARGET_GAP
+from repro.compiler.profiling import GapProfile, GapRecorder
+from repro.kernel import boot_testbed
+from repro.runtime.execution import EngineHooks, ExecutionEngine
+from repro.workloads import build_workload
+
+BENCHES = ("cg", "is", "ft")
+# The harness scales instruction budgets by WORK_SCALE, so the
+# insertion target scales identically to keep the figure comparable.
+TARGET_GAP = int(DEFAULT_TARGET_GAP * WORK_SCALE)
+
+
+def _profile(name, mode):
+    toolchain = Toolchain(migration_points=mode, target_gap=TARGET_GAP)
+    binary = toolchain.build(build_workload(name, "A", threads=1, scale=WORK_SCALE))
+    system = boot_testbed()
+    process = system.exec_process(binary, "x86-server")
+    profile = GapProfile()
+    recorder = GapRecorder(profile)
+    hooks = EngineHooks(
+        on_migration_point=lambda thread, fn, pid, instrs: (
+            recorder.on_migration_point(thread.tid, fn, pid, instrs)
+        )
+    )
+    ExecutionEngine(system, process, hooks).run()
+    assert process.exit_code == 0
+    return profile
+
+
+def _render(name, pre, post):
+    lines = [f"Figure 3-5 ({name.upper()} class A): sites per gap decade"]
+    lines.append("  decade      pre  post")
+    for decade, (a, b) in enumerate(zip(pre.decade_histogram(), post.decade_histogram())):
+        lines.append(f"  10^{decade:<2}      {a:4d}  {b:4d}")
+    lines.append(f"  max gap  pre={pre.max_gap():.3g}  post={post.max_gap():.3g}")
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("name", BENCHES)
+def test_migration_point_gaps(name, benchmark, save_result):
+    def measure():
+        return _profile(name, "boundary"), _profile(name, "profiled")
+
+    pre, post = run_once(benchmark, measure)
+    save_result(f"fig03_05_{name}_gaps", _render(name, pre, post))
+
+    # Pre-insertion: at least one site with a gap above the target
+    # (the long compute bursts between function calls).
+    assert pre.max_gap() > TARGET_GAP
+    # Post-insertion: every gap is bounded by roughly the quantum —
+    # "using the analysis we were able to insert enough migration
+    # points to reach our goal".
+    assert 0 < post.max_gap() <= TARGET_GAP * 1.1
+    # Insertion only adds points, it never removes the boundary ones.
+    assert len(post.site_means()) >= len(pre.site_means())

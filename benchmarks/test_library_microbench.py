@@ -1,0 +1,100 @@
+"""Microbenchmarks of the library itself (regression guards).
+
+Unlike the experiment harness (one-shot pedantic runs), these use
+pytest-benchmark's normal multi-round timing: they measure the Python
+implementation's throughput on its hottest paths — the execution
+engine, the stack transformation, the toolchain, and the DSM.
+"""
+
+import pytest
+
+from repro.compiler import Toolchain
+from repro.ir import FunctionBuilder, Module
+from repro.isa.types import ValueType as VT
+from repro.kernel import boot_testbed
+from repro.kernel.dsm import DsmService
+from repro.kernel.messages import MessagingLayer
+from repro.linker.layout import PAGE_SIZE
+from repro.machine.interconnect import make_dolphin_pxh810
+from repro.runtime.execution import ExecutionEngine
+from repro.runtime.transform import StackTransformer
+from repro.workloads import build_workload
+
+
+def _arith_module(iterations: int) -> Module:
+    m = Module("micro")
+    fb = FunctionBuilder(m.function("main", [], VT.I64))
+    acc = fb.local("acc", VT.I64, init=1)
+    with fb.for_range("i", 0, iterations) as i:
+        t = fb.binop("mul", i, 3, VT.I64)
+        t = fb.binop("xor", t, acc, VT.I64)
+        fb.binop_into(acc, "add", acc, t, VT.I64)
+    fb.syscall("print", [acc])
+    fb.ret(0)
+    m.entry = "main"
+    return m
+
+
+def test_engine_interpretation_throughput(benchmark):
+    """IR instructions interpreted per second (engine fast path)."""
+    binary = Toolchain(migration_points="none").build(_arith_module(2000))
+
+    def run():
+        system = boot_testbed()
+        process = system.exec_process(binary, "x86-server")
+        ExecutionEngine(system, process).run()
+        return process
+
+    process = benchmark(run)
+    assert process.exit_code == 0
+
+
+def test_toolchain_build_throughput(benchmark):
+    """Full multi-ISA builds per second for a real workload module."""
+
+    def build():
+        return Toolchain().build(build_workload("cg", "A", 2, 0.001))
+
+    binary = benchmark(build)
+    assert set(binary.isa_names) == {"arm64", "x86_64"}
+
+
+def test_stack_transformation_throughput(benchmark):
+    """Cross-ISA stack rewrites per second on a deep call chain."""
+    from tests_support import deep_chain_paused  # local helper below
+
+    system, process, thread, site = deep_chain_paused()
+    transformer = StackTransformer(process.binary, process.space)
+    isas = ["arm64", "x86_64"]
+    state = {"flip": 0}
+
+    def transform():
+        dst = isas[state["flip"] % 2]
+        state["flip"] += 1
+        if thread.frames[-1].mf.isa.name == dst:
+            dst = isas[state["flip"] % 2]
+            state["flip"] += 1
+        return transformer.transform(thread, dst, site)
+
+    stats = benchmark(transform)
+    assert stats.frames >= 3
+
+
+def test_dsm_fault_throughput(benchmark):
+    """DSM page-fault round trips per second."""
+    from repro.runtime.address_space import AddressSpace
+
+    space = AddressSpace()
+    space.map_region(0, PAGE_SIZE * 4096, "data")
+    dsm = DsmService(space, MessagingLayer(make_dolphin_pxh810()), "a")
+    for page in range(4096):
+        dsm.access("a", page * PAGE_SIZE, write=True)
+    state = {"page": 0, "kernel": "b"}
+
+    def fault():
+        page = state["page"] % 4096
+        state["page"] += 1
+        return dsm.access(state["kernel"], page * PAGE_SIZE, write=True)
+
+    cost = benchmark(fault)
+    assert cost >= 0.0

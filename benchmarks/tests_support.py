@@ -1,0 +1,56 @@
+"""Helpers shared by the microbenchmarks."""
+
+from repro.compiler import Toolchain
+from repro.ir import FunctionBuilder, Module
+from repro.isa.types import ValueType as VT
+from repro.kernel import boot_testbed
+from repro.runtime.execution import EngineHooks, ExecutionEngine
+
+
+def _deep_chain_module(depth: int = 5) -> Module:
+    """A call chain whose deepest level spins forever at migration
+    points, so a paused thread is parked with ``depth`` live frames."""
+    m = Module("deep")
+    for level in range(depth - 1, -1, -1):
+        fn = m.function(f"f{level}", [("x", VT.I64)], VT.I64)
+        fb = FunctionBuilder(fn)
+        keep = fb.local("keep", VT.I64)
+        fb.binop_into(keep, "mul", "x", level + 2, VT.I64)
+        if level == depth - 1:
+            fb.work(10_000_000_000, "int_alu")  # effectively endless
+            fb.ret(keep)
+        else:
+            sub = fb.call(f"f{level + 1}", [keep], VT.I64)
+            fb.ret(fb.binop("add", keep, sub, VT.I64))
+    main = m.function("main", [], VT.I64)
+    fb = FunctionBuilder(main)
+    fb.ret(fb.call("f0", [3], VT.I64))
+    m.entry = "main"
+    return m
+
+
+def deep_chain_paused(depth: int = 5):
+    """Run the deep chain until it parks inside the innermost burst;
+    return (system, process, thread, innermost_migpoint_site)."""
+    binary = Toolchain(target_gap=1_000_000).build(_deep_chain_module(depth))
+    system = boot_testbed()
+    process = system.exec_process(binary, "x86-server")
+    engine = ExecutionEngine(system, process)
+    state = {"site": None, "hits": 0}
+
+    def watch(thread, fn, point_id, instrs):
+        state["hits"] += 1
+        if fn == f"f{depth - 1}" and state["hits"] > depth + 2:
+            # Parked deep inside the burst: capture the site and stop.
+            mf = thread.frames[-1].mf
+            block, idx = thread.pc
+            state["site"] = mf.fn.blocks[block].instrs[idx].site_id
+            engine.request_pause()
+
+    engine.hooks.on_migration_point = watch
+    engine.run()
+    assert engine.paused and state["site"] is not None
+    thread = process.threads[min(process.threads)]
+    # Park the thread's pc exactly at the recorded migration point so
+    # repeated transformations are self-consistent.
+    return system, process, thread, state["site"]

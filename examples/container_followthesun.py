@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""A heterogeneous OS-container following cheap power.
+
+Scenario: a long-running Redis-like service lives in a heterogeneous
+OS-container.  During the day it runs on the fast x86 box; at night the
+operator consolidates onto the low-power ARM box and powers the x86
+server down — live, without dropping the service's in-memory state,
+because the container migrates across the ISA boundary.
+
+Shows the container/namespace machinery, multi-threaded migration with
+no stop-the-world, the hDSM pulling the key-value heap on demand, and
+the power traces before/after consolidation.
+
+Run:  python examples/container_followthesun.py
+"""
+
+from repro import ExecutionEngine, EngineHooks, Toolchain, boot_testbed
+from repro.compiler.migration_points import DEFAULT_TARGET_GAP
+from repro.kernel.namespaces import HeterogeneousContainer
+from repro.telemetry import PowerRecorder
+from repro.workloads import build_workload
+
+SCALE = 0.02  # shrink instruction budgets so the demo runs in seconds
+
+
+def main():
+    system = boot_testbed()
+    recorder = PowerRecorder(system, rate_hz=100 / SCALE)
+
+    toolchain = Toolchain(target_gap=int(DEFAULT_TARGET_GAP * SCALE))
+    binary = toolchain.build(build_workload("redis", "B", threads=2, scale=SCALE))
+
+    container = HeterogeneousContainer("kv-service", hostname="cache-01")
+    process = system.exec_process(
+        binary, "x86-server", container=container
+    )
+    print(f"container {container.name} (hostname {container.hostname}) "
+          f"started on x86-server; namespaces span {sorted(container.kernels())}")
+
+    hooks = EngineHooks()
+    state = {"consolidated": False}
+
+    def nightfall(thread, function, point_id, instructions):
+        # Consolidate once the service has built up real in-memory state.
+        if not state["consolidated"] and instructions > 2_000_000:
+            state["consolidated"] = True
+            print(f"nightfall at t={system.clock.now * 1e3:.1f} ms: "
+                  "consolidating the container onto arm-server")
+            system.request_migration(process, "arm-server")
+
+    def on_migration(thread, outcome):
+        print(f"  tid {thread.tid}: {outcome.src_machine} -> "
+              f"{outcome.dst_machine} "
+              f"(transform {outcome.transform_seconds * 1e6:.0f} us, "
+              f"hand-off {outcome.handoff_seconds * 1e6:.0f} us)")
+
+    hooks.on_migration_point = nightfall
+    hooks.on_migration = on_migration
+    engine = ExecutionEngine(system, process, hooks, sampler=recorder.sampler)
+    engine.run()
+    recorder.finish()
+
+    print(f"\nservice completed: exit={process.exit_code}, "
+          f"checksum={process.output[0]:.0f} (verified={process.output[1]:.0f})")
+    print(f"container now spans kernels: {sorted(container.kernels())}")
+    stats = process.dsm.stats
+    print(f"hDSM moved {stats.page_transfers} pages "
+          f"({stats.bytes_transferred / 1e6:.1f} MB) on demand, "
+          f"{stats.invalidations} invalidations")
+
+    for name in system.machine_order:
+        traces = recorder.machine(name)
+        print(f"{name}: peak cpu {traces.cpu_power.max():.1f} W, "
+              f"energy {traces.cpu_energy():.2f} J, "
+              f"peak load {traces.load.max():.0f}%")
+
+    assert process.exit_code == 0
+    assert state["consolidated"], "the service never consolidated"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Shared result analysis: summary statistics and table/figure
+rendering used by the benchmark harness (one module per paper table or
+figure lives under ``benchmarks/``)."""
+
+from repro.analysis.stats import FiveNumber, five_number_summary, geomean
+from repro.analysis.report import Table, bar, format_series
+from repro.analysis.export import runs_to_csv, runs_to_json, series_to_csv
+
+__all__ = [
+    "FiveNumber",
+    "five_number_summary",
+    "geomean",
+    "Table",
+    "bar",
+    "format_series",
+    "runs_to_csv",
+    "runs_to_json",
+    "series_to_csv",
+]

@@ -1,0 +1,83 @@
+"""Exporting results for external plotting (CSV / JSON).
+
+The harness prints ASCII artifacts; users who want real figures export
+the underlying data instead::
+
+    from repro.analysis.export import runs_to_csv, series_to_csv
+"""
+
+import csv
+import io
+import json
+from typing import Dict, Iterable, List
+
+from repro.sim.trace import TimeSeries
+
+
+def series_to_csv(series_list: Iterable[TimeSeries]) -> str:
+    """Merge time series on their timestamps into one CSV table.
+
+    All series must share identical sampling grids (the PowerRecorder's
+    probes do, by construction).
+    """
+    series_list = list(series_list)
+    if not series_list:
+        return "time\n"
+    grid = series_list[0].times
+    for series in series_list[1:]:
+        if series.times != grid:
+            raise ValueError(
+                f"series {series.name} has a different sampling grid"
+            )
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["time"] + [s.name for s in series_list])
+    for i, t in enumerate(grid):
+        writer.writerow([f"{t:.6f}"] + [repr(s.values[i]) for s in series_list])
+    return out.getvalue()
+
+
+def runs_to_csv(runs_by_policy: Dict[str, List]) -> str:
+    """Flatten RunResults into one CSV row per (policy, set)."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    machines: List[str] = []
+    for runs in runs_by_policy.values():
+        for run in runs:
+            for name in run.energy_by_machine:
+                if name not in machines:
+                    machines.append(name)
+    writer.writerow(
+        ["policy", "set", "makespan_s", "total_energy_j", "edp",
+         "migrations", "jobs", "mean_response_s"]
+        + [f"energy_{m}_j" for m in machines]
+    )
+    for policy, runs in runs_by_policy.items():
+        for index, run in enumerate(runs):
+            writer.writerow(
+                [policy, index, f"{run.makespan:.6f}",
+                 f"{run.total_energy:.3f}", f"{run.edp:.3f}",
+                 run.migrations, run.job_count, f"{run.mean_response:.6f}"]
+                + [f"{run.energy_by_machine.get(m, 0.0):.3f}" for m in machines]
+            )
+    return out.getvalue()
+
+
+def runs_to_json(runs_by_policy: Dict[str, List]) -> str:
+    """RunResults as a JSON document."""
+    payload = {
+        policy: [
+            {
+                "makespan_s": run.makespan,
+                "total_energy_j": run.total_energy,
+                "edp": run.edp,
+                "migrations": run.migrations,
+                "jobs": run.job_count,
+                "mean_response_s": run.mean_response,
+                "energy_by_machine_j": run.energy_by_machine,
+            }
+            for run in runs
+        ]
+        for policy, runs in runs_by_policy.items()
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

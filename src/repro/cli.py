@@ -1,0 +1,279 @@
+"""Command-line interface.
+
+Usage (also available as ``python -m repro``)::
+
+    python -m repro list
+    python -m repro run is --cls A --threads 4 --migrate-at 3
+    python -m repro layout cg --cls A
+    python -m repro gaps ft --cls A
+    python -m repro schedule --pattern periodic --sets 5
+"""
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import Table, format_series
+from repro.compiler import Toolchain
+from repro.compiler.migration_points import DEFAULT_TARGET_GAP
+
+
+def _add_workload_args(parser, with_threads=True):
+    parser.add_argument("workload", help="benchmark name (see `repro list`)")
+    parser.add_argument("--cls", default="A", choices=("A", "B", "C"),
+                        help="NPB problem class")
+    if with_threads:
+        parser.add_argument("--threads", type=int, default=2)
+    parser.add_argument("--scale", type=float, default=0.01,
+                        help="instruction-budget scale (1.0 = full size)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Heterogeneous-ISA datacenter reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available workloads")
+
+    run = sub.add_parser("run", help="run a workload on the testbed")
+    _add_workload_args(run)
+    run.add_argument("--start", default="x86", choices=("x86", "arm"),
+                     help="machine the process starts on")
+    run.add_argument("--migrate-at", type=int, default=None, metavar="N",
+                     help="migrate the whole process at the Nth migration point")
+
+    layout = sub.add_parser("layout", help="show the common multi-ISA layout")
+    _add_workload_args(layout, with_threads=False)
+    layout.add_argument("--script", action="store_true",
+                        help="print the full per-ISA linker script")
+
+    gaps = sub.add_parser("gaps", help="migration-point gap histograms (pre/post)")
+    _add_workload_args(gaps, with_threads=False)
+
+    dump = sub.add_parser("dump", help="print a workload's IR in text form")
+    _add_workload_args(dump, with_threads=True)
+    dump.add_argument("--optimize", action="store_true",
+                      help="run the middle-end passes before printing")
+
+    sched = sub.add_parser("schedule", help="scheduling/energy study")
+    sched.add_argument("--pattern", default="sustained",
+                       choices=("sustained", "periodic"))
+    sched.add_argument("--sets", type=int, default=3)
+    sched.add_argument("--jobs", type=int, default=40)
+    sched.add_argument("--seed", type=int, default=1200)
+    return parser
+
+
+# ------------------------------------------------------------- commands
+
+def cmd_list(args) -> int:
+    from repro.workloads import profile_for, workload_names
+
+    table = Table("Available workloads", ["name", "classes", "mix (top)",
+                                          "parallel fraction"])
+    for name in workload_names():
+        profile = profile_for(name)
+        top = max(profile.mix, key=profile.mix.get)
+        table.add_row(
+            name,
+            "/".join(sorted(profile.classes)),
+            f"{top.value} ({profile.mix[top] * 100:.0f}%)",
+            f"{profile.parallel_fraction:.2f}",
+        )
+    print(table.render())
+    return 0
+
+
+def _machine_name(short: str) -> str:
+    return {"x86": "x86-server", "arm": "arm-server"}[short]
+
+
+def cmd_run(args) -> int:
+    from repro.kernel import boot_testbed
+    from repro.runtime.execution import EngineHooks, ExecutionEngine
+    from repro.telemetry import PowerRecorder
+    from repro.workloads import build_workload
+
+    toolchain = Toolchain(target_gap=max(int(DEFAULT_TARGET_GAP * args.scale), 1000))
+    binary = toolchain.build(
+        build_workload(args.workload, args.cls, args.threads, args.scale)
+    )
+    system = boot_testbed()
+    recorder = PowerRecorder(system, rate_hz=min(100 / args.scale, 1e6))
+    process = system.exec_process(binary, _machine_name(args.start))
+
+    hooks = EngineHooks()
+    hits = [0]
+
+    def maybe_migrate(thread, fn, point_id, instrs):
+        hits[0] += 1
+        if args.migrate_at is not None and hits[0] == args.migrate_at:
+            other = [m for m in system.machine_order
+                     if m != thread.machine_name][0]
+            print(f"migrating process to {other} "
+                  f"(at {fn}, point {point_id})")
+            system.request_migration(process, other)
+
+    hooks.on_migration_point = maybe_migrate
+    hooks.on_migration = lambda thread, outcome: print(
+        f"  tid {thread.tid}: {outcome.src_machine} -> {outcome.dst_machine} "
+        f"(transform {outcome.transform_seconds * 1e6:.0f} us)"
+    )
+    engine = ExecutionEngine(system, process, hooks, sampler=recorder.sampler)
+    engine.run()
+    recorder.finish()
+
+    table = Table(f"{args.workload}.{args.cls} x{args.threads}", ["metric", "value"])
+    table.add_row("exit code", process.exit_code)
+    table.add_row("output", " ".join(f"{v:.0f}" for v in process.output))
+    table.add_row("simulated time (s)", f"{system.clock.now:.4f}")
+    table.add_row("migrations", engine.migration.migrations)
+    table.add_row("DSM pages moved", process.dsm.stats.page_transfers)
+    for name in system.machine_order:
+        traces = recorder.machine(name)
+        table.add_row(f"{name} energy (J)", f"{traces.cpu_energy():.2f}")
+    print(table.render())
+    return 0 if process.exit_code == 0 else 1
+
+
+def cmd_layout(args) -> int:
+    from repro.workloads import build_workload
+
+    binary = Toolchain().build(
+        build_workload(args.workload, args.cls, 1, args.scale)
+    )
+    table = Table(
+        f"Common layout of {args.workload}.{args.cls} "
+        f"(identical on {', '.join(binary.isa_names)})",
+        ["symbol", "address", "padded", "arm64 size", "x86_64 size"],
+    )
+    for placed in binary.layout.in_section(".text"):
+        table.add_row(
+            placed.name,
+            hex(placed.address),
+            placed.padded_size,
+            placed.sizes.get("arm64", "-"),
+            placed.sizes.get("x86_64", "-"),
+        )
+    print(table.render())
+    print(f".text footprint (padded): {binary.text_footprint('x86_64')} bytes; "
+          f"TLS block: {binary.tls.block_size} bytes; "
+          f"{binary.migration_point_count} migration points, "
+          f"{binary.site_count} call sites")
+    if args.script:
+        print(binary.binary_for("x86_64").linker_script)
+    return 0
+
+
+def cmd_gaps(args) -> int:
+    from repro.compiler.profiling import GapProfile, GapRecorder
+    from repro.kernel import boot_testbed
+    from repro.runtime.execution import EngineHooks, ExecutionEngine
+    from repro.workloads import build_workload
+
+    target = max(int(DEFAULT_TARGET_GAP * args.scale), 1000)
+    for mode in ("boundary", "profiled"):
+        toolchain = Toolchain(migration_points=mode, target_gap=target)
+        binary = toolchain.build(
+            build_workload(args.workload, args.cls, 1, args.scale)
+        )
+        system = boot_testbed()
+        process = system.exec_process(binary, "x86-server")
+        profile = GapProfile()
+        recorder = GapRecorder(profile)
+        hooks = EngineHooks(on_migration_point=(
+            lambda thread, fn, pid, instrs: recorder.on_migration_point(
+                thread.tid, fn, pid, instrs)
+        ))
+        ExecutionEngine(system, process, hooks).run()
+        label = "pre-insertion" if mode == "boundary" else "post-insertion"
+        print(profile.format_histogram(
+            f"{args.workload}.{args.cls} {label} "
+            f"(max gap {profile.max_gap():.3g} instructions)"
+        ))
+        print()
+    return 0
+
+
+def cmd_dump(args) -> int:
+    from repro.compiler.optimize import optimize_module
+    from repro.ir.printer import print_module
+    from repro.workloads import build_workload
+
+    module = build_workload(args.workload, args.cls, args.threads, args.scale)
+    if args.optimize:
+        optimize_module(module)
+    print(print_module(module))
+    return 0
+
+
+def cmd_schedule(args) -> int:
+    from repro.datacenter import (
+        ClusterSimulator,
+        POLICIES,
+        make_policy,
+        periodic_waves,
+        summarize_runs,
+        sustained_backfill,
+    )
+    from repro.machine import make_xeon_e5_1650v2, make_xgene1
+    from repro.sim.rng import DeterministicRng
+
+    baseline = "static-x86(2)"
+
+    def machines_for(name):
+        if name == baseline:
+            return [make_xeon_e5_1650v2("x86-1"), make_xeon_e5_1650v2("x86-2")]
+        return [make_xgene1("arm"), make_xeon_e5_1650v2("x86")]
+
+    runs = {name: [] for name in POLICIES}
+    for index in range(args.sets):
+        rng = DeterministicRng(args.seed + index)
+        for name in POLICIES:
+            sim = ClusterSimulator(machines_for(name), make_policy(name))
+            if args.pattern == "sustained":
+                specs, conc = sustained_backfill(
+                    DeterministicRng(args.seed + index), args.jobs, 6
+                )
+                runs[name].append(sim.run_sustained(specs, conc))
+            else:
+                arrivals = periodic_waves(DeterministicRng(args.seed + index))
+                runs[name].append(sim.run_periodic(arrivals))
+    summary = summarize_runs(runs, baseline)
+    table = Table(
+        f"{args.pattern} workload, {args.sets} sets (vs {baseline})",
+        ["policy", "energy (kJ)", "saving", "makespan ratio", "EDP red."],
+    )
+    for name, s in summary.items():
+        table.add_row(
+            name,
+            f"{s.mean_energy / 1e3:.2f}",
+            f"{s.mean_energy_reduction * 100:+.1f}%",
+            f"{s.mean_makespan_ratio:.2f}",
+            f"{s.mean_edp_reduction * 100:+.1f}%",
+        )
+    print(table.render())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "layout": cmd_layout,
+        "gaps": cmd_gaps,
+        "dump": cmd_dump,
+        "schedule": cmd_schedule,
+    }[args.command]
+    try:
+        return handler(args)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

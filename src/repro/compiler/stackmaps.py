@@ -1,0 +1,70 @@
+"""Live-value stackmaps.
+
+For every call site (ordinary calls, syscalls, and the migration-point
+call-outs) the compiler records where each live local lives in that
+ISA's machine code.  The stack transformation runtime joins the source
+and destination ISA's maps on the shared ``site_id`` to copy values
+between ABIs — this is the paper's "live value location information
+generated after register allocation".
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.compiler.frame import Location
+from repro.isa.types import ValueType
+
+
+@dataclass(frozen=True)
+class StackMapEntry:
+    """One live value at one site: name, type, and machine location."""
+
+    var: str
+    vt: ValueType
+    location: Location
+    # True when the value is a pointer that may target the stack and
+    # therefore needs fix-up during transformation.
+    maybe_stack_pointer: bool = False
+
+
+@dataclass
+class StackMap:
+    """All live values at one call site on one ISA."""
+
+    site_id: int
+    function: str
+    block: str
+    index: int
+    entries: List[StackMapEntry] = field(default_factory=list)
+
+    def entry_for(self, var: str) -> Optional[StackMapEntry]:
+        for entry in self.entries:
+            if entry.var == var:
+                return entry
+        return None
+
+    @property
+    def live_vars(self) -> List[str]:
+        return [e.var for e in self.entries]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def join_stackmaps(src: StackMap, dst: StackMap) -> List[tuple]:
+    """Pair up (src_entry, dst_entry) for the variables live at a site.
+
+    The two maps come from different ISAs but the same IR, so the live
+    sets agree; a mismatch indicates a toolchain bug and raises.
+    """
+    src_by_var = {e.var: e for e in src.entries}
+    dst_by_var = {e.var: e for e in dst.entries}
+    if set(src_by_var) != set(dst_by_var):
+        only_src = set(src_by_var) - set(dst_by_var)
+        only_dst = set(dst_by_var) - set(src_by_var)
+        raise ValueError(
+            f"stackmap live-set mismatch at site {src.site_id} in "
+            f"{src.function}: src-only={sorted(only_src)}, "
+            f"dst-only={sorted(only_dst)}"
+        )
+    return [(src_by_var[v], dst_by_var[v]) for v in sorted(src_by_var)]

@@ -1,0 +1,54 @@
+"""Datacenter-level scheduling experiments (Section 7, Figures 12-13).
+
+A processor-sharing discrete-event simulation of jobs on a small
+cluster, with the five scheduling policies of the paper: static
+assignment to two identical x86 machines, static balanced/unbalanced
+assignment to the ARM+x86 pair, and dynamic balanced/unbalanced
+policies that exploit heterogeneous-ISA migration.  Job durations come
+from the workloads' analytic profiles (the same profiles the execution
+engine realises instruction-by-instruction), and energy integrates each
+machine's power model — with the McPAT FinFET projection applied to the
+ARM board, as in the paper.
+"""
+
+from repro.datacenter.job import Job, JobSpec, job_duration
+from repro.datacenter.arrivals import (
+    heavy_tailed_trace,
+    periodic_waves,
+    sustained_backfill,
+    uniform_job_mix,
+)
+from repro.datacenter.policies import (
+    POLICIES,
+    DynamicBalanced,
+    DynamicUnbalanced,
+    SchedulingPolicy,
+    StaticHetBalanced,
+    StaticHetUnbalanced,
+    StaticX86Pair,
+    make_policy,
+)
+from repro.datacenter.cluster import ClusterSimulator, MachineNode
+from repro.datacenter.energy import RunResult, summarize_runs
+
+__all__ = [
+    "JobSpec",
+    "Job",
+    "job_duration",
+    "uniform_job_mix",
+    "sustained_backfill",
+    "periodic_waves",
+    "heavy_tailed_trace",
+    "SchedulingPolicy",
+    "StaticX86Pair",
+    "StaticHetBalanced",
+    "StaticHetUnbalanced",
+    "DynamicBalanced",
+    "DynamicUnbalanced",
+    "POLICIES",
+    "make_policy",
+    "ClusterSimulator",
+    "MachineNode",
+    "RunResult",
+    "summarize_runs",
+]

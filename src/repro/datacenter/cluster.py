@@ -1,0 +1,229 @@
+"""The cluster simulator: processor-sharing DES with migration.
+
+Between events every machine runs its resident jobs under processor
+sharing (oversubscription stretches everyone equally); events are job
+arrivals, completions, and policy-driven migrations.  Energy integrates
+each machine's *internal* (on-package) power between events, as the
+paper reports ("we only report internal power readings"), with the
+McPAT FinFET projection optionally applied to the ARM board.
+"""
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.datacenter.energy import RunResult
+from repro.datacenter.job import Job, JobSpec, JobState, job_duration, migration_penalty
+from repro.datacenter.policies import SchedulingPolicy
+from repro.machine.machine import Machine
+from repro.machine.mcpat import project_finfet
+
+DEFAULT_INTERCONNECT_BW = 64e9 / 8  # Dolphin PXH810
+
+
+class MachineNode:
+    """One machine's scheduling state."""
+
+    def __init__(self, machine: Machine, project_arm_finfet: bool = True):
+        self.machine = machine
+        power = machine.power
+        if project_arm_finfet and machine.isa.name == "arm64":
+            power = project_finfet(power)
+        self.power = power
+        self.jobs: List[Job] = []
+        self.energy_joules = 0.0
+
+    @property
+    def name(self) -> str:
+        return self.machine.name
+
+    @property
+    def threads_in_use(self) -> int:
+        return sum(j.threads for j in self.jobs)
+
+    @property
+    def busy_cores(self) -> float:
+        return float(min(self.threads_in_use, self.machine.cpu.cores))
+
+    @property
+    def contention(self) -> float:
+        cores = self.machine.cpu.cores
+        return max(1.0, self.threads_in_use / cores)
+
+    def cpu_power_now(self) -> float:
+        return self.power.cpu_power(self.busy_cores)
+
+    def accrue_energy(self, dt: float) -> None:
+        self.energy_joules += self.cpu_power_now() * dt
+
+
+class ClusterSimulator:
+    """Runs one job set under one policy on a set of machines."""
+
+    def __init__(
+        self,
+        machines: List[Machine],
+        policy: SchedulingPolicy,
+        interconnect_bw: float = DEFAULT_INTERCONNECT_BW,
+        project_arm_finfet: bool = True,
+    ):
+        if not machines:
+            raise ValueError("cluster needs at least one machine")
+        self.nodes = [MachineNode(m, project_arm_finfet) for m in machines]
+        self.policy = policy
+        self.interconnect_bw = interconnect_bw
+        self.now = 0.0
+        self.migrations = 0
+        self._durations: Dict[Tuple[JobSpec, str], float] = {}
+        self.finished: List[Job] = []
+
+    # --------------------------------------------------------- plumbing
+
+    def _duration(self, spec: JobSpec, node: MachineNode) -> float:
+        key = (spec, node.name)
+        if key not in self._durations:
+            self._durations[key] = job_duration(spec, node.machine)
+        return self._durations[key]
+
+    def _node_of(self, job: Job) -> MachineNode:
+        for node in self.nodes:
+            if node.name == job.machine:
+                return node
+        raise KeyError(f"job {job} has no node")
+
+    def _start(self, job: Job, node: MachineNode) -> None:
+        job.state = JobState.RUNNING
+        job.machine = node.name
+        job.started_at = self.now
+        node.jobs.append(job)
+
+    def _finish_time_of(self, job: Job, node: MachineNode) -> float:
+        rate_seconds = self._duration(job.spec, node) * node.contention
+        return job.remaining_fraction * rate_seconds
+
+    def _advance(self, dt: float) -> None:
+        """Progress all jobs and accrue energy for ``dt`` seconds."""
+        if dt <= 0:
+            return
+        for node in self.nodes:
+            node.accrue_energy(dt)
+            denom_base = node.contention
+            for job in node.jobs:
+                demand = self._duration(job.spec, node) * denom_base
+                job.remaining_fraction -= dt / demand
+        self.now += dt
+
+    def _collect_finished(self) -> List[Job]:
+        done: List[Job] = []
+        for node in self.nodes:
+            still: List[Job] = []
+            for job in node.jobs:
+                if job.remaining_fraction <= 1e-9:
+                    job.remaining_fraction = 0.0
+                    job.state = JobState.DONE
+                    job.finished_at = self.now
+                    done.append(job)
+                    self.finished.append(job)
+                else:
+                    still.append(job)
+            node.jobs = still
+        return done
+
+    def _apply_policy_migrations(self) -> None:
+        if not self.policy.dynamic:
+            return
+        for job, dst in self.policy.rebalance(self.nodes):
+            src = self._node_of(job)
+            if src is dst:
+                continue
+            src.jobs.remove(job)
+            penalty = migration_penalty(job.spec, self.interconnect_bw)
+            extra = penalty / self._duration(job.spec, dst)
+            job.remaining_fraction = min(job.remaining_fraction + extra, 1.0)
+            job.machine = dst.name
+            job.migrations += 1
+            dst.jobs.append(job)
+            self.migrations += 1
+
+    def _next_completion_dt(self) -> Optional[float]:
+        best: Optional[float] = None
+        for node in self.nodes:
+            for job in node.jobs:
+                t = self._finish_time_of(job, node)
+                if best is None or t < best:
+                    best = t
+        return best
+
+    # ------------------------------------------------------ experiment
+
+    def run_sustained(self, specs: List[JobSpec], concurrency: int) -> RunResult:
+        """Closed system: keep ``concurrency`` jobs in flight (Fig. 12)."""
+        queue = [Job(s, arrival=0.0) for s in specs]
+        pending = list(queue)
+        in_flight = 0
+        for _ in range(min(concurrency, len(pending))):
+            job = pending.pop(0)
+            self._start(job, self.policy.place(job, self.nodes))
+            in_flight += 1
+        self._apply_policy_migrations()
+
+        while in_flight > 0:
+            dt = self._next_completion_dt()
+            if dt is None:
+                raise RuntimeError("jobs in flight but none progressing")
+            self._advance(dt)
+            done = self._collect_finished()
+            in_flight -= len(done)
+            for _ in done:
+                if pending:
+                    job = pending.pop(0)
+                    job.arrival = self.now
+                    self._start(job, self.policy.place(job, self.nodes))
+                    in_flight += 1
+            if done:
+                self._apply_policy_migrations()
+        return self._result(len(queue))
+
+    def run_periodic(self, arrivals: List[Tuple[float, JobSpec]]) -> RunResult:
+        """Open system with timed arrivals (Fig. 13)."""
+        schedule = sorted(
+            (Job(spec, arrival=t) for t, spec in arrivals),
+            key=lambda j: (j.arrival, j.job_id),
+        )
+        idx = 0
+        total = len(schedule)
+        while idx < total or any(n.jobs for n in self.nodes):
+            next_arrival = schedule[idx].arrival if idx < total else None
+            dt_done = self._next_completion_dt()
+            candidates = []
+            if next_arrival is not None:
+                candidates.append(next_arrival - self.now)
+            if dt_done is not None:
+                candidates.append(dt_done)
+            if not candidates:
+                break
+            dt = max(min(candidates), 0.0)
+            self._advance(dt)
+            changed = bool(self._collect_finished())
+            while idx < total and schedule[idx].arrival <= self.now + 1e-9:
+                job = schedule[idx]
+                idx += 1
+                self._start(job, self.policy.place(job, self.nodes))
+                changed = True
+            if changed:
+                self._apply_policy_migrations()
+        return self._result(total)
+
+    def _result(self, job_count: int) -> RunResult:
+        return RunResult(
+            policy=self.policy.name,
+            makespan=self.now,
+            energy_by_machine={n.name: n.energy_joules for n in self.nodes},
+            migrations=self.migrations,
+            job_count=job_count,
+            mean_response=(
+                sum(j.response_time() for j in self.finished) / len(self.finished)
+                if self.finished
+                else 0.0
+            ),
+        )

@@ -1,0 +1,84 @@
+"""Result records and cross-policy summaries (energy, makespan, EDP)."""
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class RunResult:
+    """One (job set, policy) simulation outcome."""
+
+    policy: str
+    makespan: float
+    energy_by_machine: Dict[str, float]
+    migrations: int
+    job_count: int
+    mean_response: float = 0.0
+
+    @property
+    def total_energy(self) -> float:
+        return sum(self.energy_by_machine.values())
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (J * s)."""
+        return self.total_energy * self.makespan
+
+    def energy_reduction_vs(self, baseline: "RunResult") -> float:
+        """Fractional energy saving relative to ``baseline`` (0.22 = 22%)."""
+        if baseline.total_energy <= 0:
+            return 0.0
+        return 1.0 - self.total_energy / baseline.total_energy
+
+    def makespan_ratio_vs(self, baseline: "RunResult") -> float:
+        if baseline.makespan <= 0:
+            return float("inf")
+        return self.makespan / baseline.makespan
+
+    def edp_reduction_vs(self, baseline: "RunResult") -> float:
+        if baseline.edp <= 0:
+            return 0.0
+        return 1.0 - self.edp / baseline.edp
+
+
+@dataclass
+class PolicySummary:
+    policy: str
+    mean_energy: float
+    mean_makespan: float
+    mean_edp: float
+    mean_energy_reduction: float
+    max_energy_reduction: float
+    mean_makespan_ratio: float
+    mean_edp_reduction: float
+
+
+def summarize_runs(
+    runs_by_policy: Dict[str, List[RunResult]], baseline_policy: str
+) -> Dict[str, PolicySummary]:
+    """Aggregate per-set results, comparing each policy to the baseline
+    set-by-set (as the paper's per-set bars do)."""
+    baselines = runs_by_policy[baseline_policy]
+    summaries: Dict[str, PolicySummary] = {}
+    for policy, runs in runs_by_policy.items():
+        if len(runs) != len(baselines):
+            raise ValueError(
+                f"{policy} has {len(runs)} runs vs baseline {len(baselines)}"
+            )
+        reductions = [
+            r.energy_reduction_vs(b) for r, b in zip(runs, baselines)
+        ]
+        ratios = [r.makespan_ratio_vs(b) for r, b in zip(runs, baselines)]
+        edp_reds = [r.edp_reduction_vs(b) for r, b in zip(runs, baselines)]
+        n = len(runs)
+        summaries[policy] = PolicySummary(
+            policy=policy,
+            mean_energy=sum(r.total_energy for r in runs) / n,
+            mean_makespan=sum(r.makespan for r in runs) / n,
+            mean_edp=sum(r.edp for r in runs) / n,
+            mean_energy_reduction=sum(reductions) / n,
+            max_energy_reduction=max(reductions),
+            mean_makespan_ratio=sum(ratios) / n,
+            mean_edp_reduction=sum(edp_reds) / n,
+        )
+    return summaries

@@ -1,0 +1,102 @@
+"""Jobs and the analytic duration model.
+
+A job is one benchmark run (name, class, thread count).  Its duration
+on a machine follows from the benchmark's instruction-class profile,
+the target ISA's lowering expansion, the machine's per-class CPIs, and
+Amdahl scaling over the thread count — the same quantities the
+instruction-level execution engine charges, so the two models agree.
+"""
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.machine.machine import Machine
+from repro.workloads import profile_for
+from repro.workloads.base import BenchProfile
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What to run."""
+
+    bench: str
+    cls: str
+    threads: int
+
+    def profile(self) -> BenchProfile:
+        return profile_for(self.bench)
+
+    def __str__(self) -> str:
+        return f"{self.bench}.{self.cls}x{self.threads}"
+
+
+def job_duration(spec: JobSpec, machine: Machine, threads_granted: Optional[int] = None) -> float:
+    """Seconds to run ``spec`` on ``machine`` with no co-runners."""
+    profile = spec.profile()
+    by_class = profile.instructions_by_class(spec.cls)
+    isa = machine.isa
+    cycles = 0.0
+    for cls, count in by_class.items():
+        cycles += count * isa.expansion(cls) * machine.cpu.cpi.get(cls, 1.0)
+    serial = cycles / machine.cpu.freq_hz
+    threads = threads_granted if threads_granted is not None else spec.threads
+    threads = max(1, min(threads, machine.cpu.cores))
+    p = profile.parallel_fraction
+    speedup = 1.0 / ((1.0 - p) + p / threads)
+    return serial / speedup
+
+
+class JobState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+
+
+class Job:
+    """One job instance inside a cluster simulation."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, spec: JobSpec, arrival: float):
+        self.job_id = next(Job._ids)
+        self.spec = spec
+        self.arrival = arrival
+        self.state = JobState.PENDING
+        self.machine: Optional[str] = None
+        # Fraction of total demand still to execute (1 -> 0).
+        self.remaining_fraction = 1.0
+        # Extra seconds owed (migration penalties), machine-agnostic.
+        self.penalty_seconds = 0.0
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.migrations = 0
+
+    @property
+    def threads(self) -> int:
+        return self.spec.threads
+
+    def response_time(self) -> float:
+        if self.finished_at is None:
+            raise ValueError(f"job {self} not finished")
+        return self.finished_at - self.arrival
+
+    def __repr__(self) -> str:
+        return f"Job#{self.job_id}({self.spec}, {self.state.value})"
+
+
+def migration_penalty(spec: JobSpec, interconnect_bw: float) -> float:
+    """Seconds a migration costs a job.
+
+    Migration response (reaching the next migration point, one
+    scheduling quantum at worst — take half), stack transformation for
+    every thread, the kernel hand-off, and the post-migration DSM
+    working-set pull at interconnect bandwidth.
+    """
+    response = 0.010  # ~half a 50M-instruction quantum
+    transform = 0.0006 * spec.threads
+    handoff = 0.0002 * spec.threads
+    footprint = spec.profile().params(spec.cls).footprint_bytes
+    dsm_pull = footprint / interconnect_bw
+    return response + transform + handoff + dsm_pull

@@ -1,0 +1,114 @@
+"""Dynamic binary translation cost model.
+
+Expansion factors say how many *host* instructions one *guest*
+instruction becomes after TCG translation.  They are asymmetric:
+
+* ARM64 guest on x86-64 host: moderate — both are 64-bit LP64, the
+  register file maps reasonably; FP goes through helpers.
+* x86-64 guest on ARM64 host: painful — flags materialisation on every
+  ALU op, complex addressing modes, soft-float FP helpers, and lock-
+  prefixed atomics become global-lock helpers.
+
+Calibrated so Figure 1's envelopes come out: ARM-on-x86 roughly
+1-100x, x86-on-ARM roughly 10-10000x across the NPB mixes.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from repro.isa.isa import InstrClass
+
+
+@dataclass(frozen=True)
+class DbtProfile:
+    """Per-class expansion for one (guest, host) direction."""
+
+    guest: str
+    host: str
+    expansion: Dict[InstrClass, float] = field(default_factory=dict)
+    # Host cycles to translate one guest instruction (one-time, cached).
+    translate_cycles_per_instr: float = 800.0
+    # TCG serialises guest vCPUs (pre-MTTCG): effective host cores.
+    effective_cores: int = 1
+
+    def factor(self, cls: InstrClass) -> float:
+        return self.expansion.get(cls, 10.0)
+
+
+_ARM_ON_X86 = DbtProfile(
+    guest="arm64",
+    host="x86_64",
+    expansion={
+        InstrClass.INT_ALU: 11.0,
+        InstrClass.FP_ALU: 70.0,  # helper calls / soft-float
+        InstrClass.LOAD: 18.0,  # softmmu TLB lookup on every access
+        InstrClass.STORE: 20.0,
+        InstrClass.BRANCH: 15.0,
+        InstrClass.CALL: 30.0,
+        InstrClass.RET: 30.0,
+        InstrClass.MOV: 7.0,
+        InstrClass.ATOMIC: 90.0,
+        InstrClass.SYSCALL: 60.0,
+        InstrClass.NOP: 2.0,
+    },
+    translate_cycles_per_instr=600.0,
+)
+
+_X86_ON_ARM = DbtProfile(
+    guest="x86_64",
+    host="arm64",
+    expansion={
+        InstrClass.INT_ALU: 16.0,  # eflags materialisation
+        InstrClass.FP_ALU: 90.0,  # x87/SSE helpers, soft-float
+        InstrClass.LOAD: 22.0,
+        InstrClass.STORE: 24.0,
+        InstrClass.BRANCH: 16.0,
+        InstrClass.CALL: 50.0,
+        InstrClass.RET: 50.0,
+        InstrClass.MOV: 12.0,
+        InstrClass.ATOMIC: 180.0,
+        InstrClass.SYSCALL: 90.0,
+        InstrClass.NOP: 3.0,
+    },
+    translate_cycles_per_instr=1400.0,
+)
+
+_PROFILES = {
+    ("arm64", "x86_64"): _ARM_ON_X86,
+    ("x86_64", "arm64"): _X86_ON_ARM,
+}
+
+
+def expansion_profile(guest: str, host: str) -> DbtProfile:
+    """The DBT profile for running ``guest`` code on a ``host`` ISA."""
+    try:
+        return _PROFILES[(guest, host)]
+    except KeyError:
+        raise KeyError(f"no DBT profile for {guest} on {host}") from None
+
+
+class TranslationCache:
+    """Tracks which guest blocks have been translated.
+
+    The first execution of a block pays translation; re-execution runs
+    from the cache.  Eviction is modelled by a capacity in blocks.
+    """
+
+    def __init__(self, profile: DbtProfile, capacity_blocks: int = 65536):
+        self.profile = profile
+        self.capacity = capacity_blocks
+        self._translated: Set = set()
+        self.translations = 0
+        self.hits = 0
+
+    def execute_block(self, block_key, guest_instrs: float) -> float:
+        """Account one block execution; returns translation cycles paid."""
+        if block_key in self._translated:
+            self.hits += 1
+            return 0.0
+        if len(self._translated) >= self.capacity:
+            # Whole-cache flush, as TCG does when the code buffer fills.
+            self._translated.clear()
+        self._translated.add(block_key)
+        self.translations += 1
+        return guest_instrs * self.profile.translate_cycles_per_instr

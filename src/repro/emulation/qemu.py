@@ -1,0 +1,65 @@
+"""QEMU-style whole-system emulation as a machine configuration.
+
+``make_emulated_machine`` builds a :class:`~repro.machine.machine.Machine`
+that *executes guest-ISA binaries* on host hardware: the CPU model's
+CPIs are the host's scaled by the DBT expansion factors, and the core
+count collapses to the TCG serialisation limit.  Any workload that runs
+on a native machine runs unmodified on an emulated one — which is how
+the Figure 1 experiment measures slowdown.
+"""
+
+from typing import Dict
+
+from repro.emulation.dbt import DbtProfile, expansion_profile
+from repro.isa import get_isa
+from repro.isa.isa import InstrClass
+from repro.machine.cpu import CpuModel
+from repro.machine.machine import Machine
+
+
+def _emulated_cpu(host_cpu: CpuModel, guest_isa: str, profile: DbtProfile) -> CpuModel:
+    cpi: Dict[InstrClass, float] = {}
+    for cls in InstrClass:
+        host_cpi = host_cpu.cpi.get(cls, 1.0)
+        cpi[cls] = host_cpi * profile.factor(cls)
+    return CpuModel(
+        name=f"qemu-tcg({guest_isa} on {host_cpu.name})",
+        isa_name=guest_isa,
+        cores=min(profile.effective_cores, host_cpu.cores),
+        freq_hz=host_cpu.freq_hz,
+        cpi=cpi,
+        syscall_cycles=host_cpu.syscall_cycles * 20,  # trap + emulation exit
+    )
+
+
+def make_emulated_machine(host: Machine, guest_isa_name: str) -> Machine:
+    """A machine that runs ``guest_isa_name`` binaries on ``host``.
+
+    Power behaviour is the host's (the host board is what draws power);
+    only the timing model changes.
+    """
+    profile = expansion_profile(guest_isa_name, host.isa.name)
+    machine = Machine(
+        name=f"{host.name}-emul-{guest_isa_name}",
+        isa=get_isa(guest_isa_name),
+        cpu=_emulated_cpu(host.cpu, guest_isa_name, profile),
+        memory=host.memory,
+        power=host.power,
+        clock=host.clock,
+    )
+    return machine
+
+
+def emulation_warmup_seconds(
+    host: Machine, guest_isa_name: str, guest_code_bytes: int
+) -> float:
+    """One-time translation cost for a binary's hot code.
+
+    Approximates TCG translating the working set once: bytes -> guest
+    instructions -> translate cycles at host speed.
+    """
+    profile = expansion_profile(guest_isa_name, host.isa.name)
+    guest_isa = get_isa(guest_isa_name)
+    guest_instrs = guest_code_bytes / guest_isa.bytes_per_instr
+    cycles = guest_instrs * profile.translate_cycles_per_instr
+    return cycles / host.cpu.freq_hz

@@ -1,0 +1,67 @@
+"""A small typed intermediate representation.
+
+This stands in for LLVM bitcode in the paper's toolchain.  Workloads are
+written against :class:`repro.ir.builder.FunctionBuilder`; the per-ISA
+back-ends in :mod:`repro.compiler` lower modules to machine functions.
+
+Design points mirroring the paper's needs:
+
+* locals are mutable and typed (no SSA) — liveness analysis recovers the
+  live sets the stackmap emitter needs at call sites;
+* address-taken locals and stack arrays live in (simulated) memory, so
+  pointers into the stack exist and must be fixed up on migration;
+* an abstract ``work`` instruction represents a calibrated burst of
+  machine instructions of one class, letting class-C NPB runs execute in
+  a Python interpreter without interpreting billions of operations.
+"""
+
+from repro.ir.instructions import (
+    AddrOf,
+    BinOp,
+    Br,
+    CBr,
+    Call,
+    Const,
+    InlineAsm,
+    Instr,
+    Load,
+    MigPoint,
+    Ret,
+    StackAlloc,
+    Store,
+    Syscall,
+    UnOp,
+    Work,
+)
+from repro.ir.function import BasicBlock, Function, GlobalVar, Module
+from repro.ir.builder import FunctionBuilder
+from repro.ir.validate import ValidationError, validate_module
+from repro.ir.analysis import call_graph, liveness
+
+__all__ = [
+    "Instr",
+    "InlineAsm",
+    "Const",
+    "BinOp",
+    "UnOp",
+    "Load",
+    "Store",
+    "AddrOf",
+    "StackAlloc",
+    "Call",
+    "Ret",
+    "Br",
+    "CBr",
+    "Work",
+    "MigPoint",
+    "Syscall",
+    "BasicBlock",
+    "Function",
+    "GlobalVar",
+    "Module",
+    "FunctionBuilder",
+    "ValidationError",
+    "validate_module",
+    "liveness",
+    "call_graph",
+]

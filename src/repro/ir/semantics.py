@@ -1,0 +1,67 @@
+"""Operational semantics of IR operators.
+
+One shared table used by both the execution engine and the constant
+folder, so optimisation can never disagree with execution.  Integer
+division/modulo follow C semantics (truncation toward zero); shifts are
+masked to 64 bits.
+"""
+
+from typing import Callable, Dict
+
+
+def truncdiv(a: int, b: int) -> int:
+    """C-style integer division (truncates toward zero)."""
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+INT_BIN: Dict[str, Callable] = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": lambda a, b: truncdiv(int(a), int(b)),
+    "mod": lambda a, b: int(a) - truncdiv(int(a), int(b)) * int(b),
+    "and": lambda a, b: int(a) & int(b),
+    "or": lambda a, b: int(a) | int(b),
+    "xor": lambda a, b: int(a) ^ int(b),
+    "shl": lambda a, b: (int(a) << int(b)) & 0xFFFFFFFFFFFFFFFF,
+    "shr": lambda a, b: int(a) >> int(b),
+    "eq": lambda a, b: 1 if a == b else 0,
+    "ne": lambda a, b: 1 if a != b else 0,
+    "lt": lambda a, b: 1 if a < b else 0,
+    "le": lambda a, b: 1 if a <= b else 0,
+    "gt": lambda a, b: 1 if a > b else 0,
+    "ge": lambda a, b: 1 if a >= b else 0,
+    "min": min,
+    "max": max,
+}
+
+FLOAT_BIN: Dict[str, Callable] = dict(INT_BIN)
+FLOAT_BIN.update(
+    {
+        "add": lambda a, b: a + b,
+        "sub": lambda a, b: a - b,
+        "mul": lambda a, b: a * b,
+        "div": lambda a, b: a / b,
+        "mod": lambda a, b: a - b * int(a / b) if b else 0.0,
+    }
+)
+
+
+def apply_unop(op: str, a):
+    """Evaluate a unary operator; raises on unknown ops."""
+    if op == "mov":
+        return a
+    if op == "neg":
+        return -a
+    if op == "not":
+        return ~int(a)
+    if op == "i2f":
+        return float(a)
+    if op == "f2i":
+        return int(a)
+    if op == "sqrt":
+        return abs(a) ** 0.5
+    if op == "abs":
+        return abs(a)
+    raise ValueError(f"unknown unop {op}")

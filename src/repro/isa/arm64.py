@@ -1,0 +1,62 @@
+"""ARM64 (AArch64) as shipped on the APM X-Gene 1.
+
+Register file and AAPCS64 calling convention per the ARM Procedure Call
+Standard: x0-x7 argument registers, x19-x28 callee-saved, x29 frame
+pointer, x30 link register; v8-v15 callee-saved FP registers.
+"""
+
+from repro.isa.abi import CallingConvention, FrameLayoutStyle
+from repro.isa.isa import InstrClass, Isa
+from repro.isa.registers import Register, RegisterFile, RegKind, make_registers
+
+
+def _build_regfile() -> RegisterFile:
+    gprs = make_registers("x", range(0, 29), RegKind.GPR, tuple(range(19, 29)))
+    fprs = make_registers("v", range(0, 32), RegKind.FPR, tuple(range(8, 16)))
+    specials = [
+        Register("x29", RegKind.SPECIAL),  # frame pointer
+        Register("x30", RegKind.SPECIAL),  # link register
+        Register("sp", RegKind.SPECIAL),
+        Register("pc", RegKind.SPECIAL),
+    ]
+    return RegisterFile(gprs + fprs + specials, sp="sp", fp="x29", pc="pc")
+
+
+_CC = CallingConvention(
+    name="aapcs64",
+    int_arg_regs=("x0", "x1", "x2", "x3", "x4", "x5", "x6", "x7"),
+    fp_arg_regs=("v0", "v1", "v2", "v3", "v4", "v5", "v6", "v7"),
+    int_return_reg="x0",
+    fp_return_reg="v0",
+    stack_alignment=16,
+    red_zone=0,
+    return_address_on_stack=False,
+    link_register="x30",
+    frame_style=FrameLayoutStyle.AAPCS64,
+)
+
+# A fixed-width load/store RISC: address arithmetic and large immediates
+# cost extra instructions relative to the abstract IR operation.
+_EXPANSION = {
+    InstrClass.INT_ALU: 1.1,
+    InstrClass.FP_ALU: 1.0,
+    InstrClass.LOAD: 1.2,
+    InstrClass.STORE: 1.2,
+    InstrClass.BRANCH: 1.0,
+    InstrClass.CALL: 1.0,
+    InstrClass.RET: 1.0,
+    InstrClass.MOV: 1.0,
+    InstrClass.ATOMIC: 1.5,
+    InstrClass.SYSCALL: 1.0,
+    InstrClass.NOP: 1.0,
+}
+
+ARM64 = Isa(
+    name="arm64",
+    description="AArch64 / AAPCS64 (APM X-Gene 1 class)",
+    regfile=_build_regfile(),
+    cc=_CC,
+    bytes_per_instr=4.0,
+    lowering_expansion=_EXPANSION,
+    tls_variant=1,
+)

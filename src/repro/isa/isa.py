@@ -1,0 +1,66 @@
+"""The :class:`Isa` description object and instruction classes."""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.isa.abi import CallingConvention
+from repro.isa.registers import RegisterFile
+
+
+class InstrClass(enum.Enum):
+    """Coarse classes of machine instructions.
+
+    Codegen charges every lowered IR operation to one of these classes;
+    the CPU model (repro.machine.cpu) assigns each class a CPI, and the
+    emulation model (repro.emulation) an expansion factor.
+    """
+
+    INT_ALU = "int_alu"
+    FP_ALU = "fp_alu"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    CALL = "call"
+    RET = "ret"
+    MOV = "mov"
+    ATOMIC = "atomic"
+    SYSCALL = "syscall"
+    NOP = "nop"
+
+
+@dataclass(frozen=True)
+class Isa:
+    """Architectural description of an instruction set.
+
+    ``lowering_expansion`` is the average number of machine instructions
+    a single abstract operation of each class lowers to — RISC ISAs need
+    more instructions for the same IR (separate loads, materialised
+    immediates), CISC fewer.  ``bytes_per_instr`` drives text-section
+    sizes (fixed 4-byte ARM encodings vs variable x86).
+    """
+
+    name: str
+    description: str
+    regfile: RegisterFile
+    cc: CallingConvention
+    pointer_size: int = 8
+    bytes_per_instr: float = 4.0
+    lowering_expansion: Dict[InstrClass, float] = field(default_factory=dict)
+    # "variant 1" (ARM: TCB at start, offsets positive) vs "variant 2"
+    # (x86: TLS below the thread pointer).  The paper forces all binaries
+    # onto the x86-64 mapping; repro.linker.tls implements that.
+    tls_variant: int = 1
+
+    def expansion(self, instr_class: InstrClass) -> float:
+        """Machine instructions per abstract operation of this class."""
+        return self.lowering_expansion.get(instr_class, 1.0)
+
+    def __repr__(self) -> str:
+        return f"Isa({self.name})"
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Isa) and other.name == self.name

@@ -1,0 +1,82 @@
+"""Register file descriptions.
+
+Only the architectural properties that matter to register allocation and
+stack transformation are modelled: names, kind (general-purpose vs
+floating point), and whether the C ABI makes each register callee-saved.
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+class RegKind(enum.Enum):
+    GPR = "gpr"
+    FPR = "fpr"
+    SPECIAL = "special"  # sp, fp, lr, pc — never allocatable
+
+
+@dataclass(frozen=True)
+class Register:
+    """One architectural register."""
+
+    name: str
+    kind: RegKind
+    callee_saved: bool = False
+
+    def __repr__(self) -> str:
+        saved = ",callee" if self.callee_saved else ""
+        return f"<{self.name}:{self.kind.value}{saved}>"
+
+
+class RegisterFile:
+    """The full set of registers of an ISA, with allocation order."""
+
+    def __init__(self, registers: List[Register], sp: str, fp: str, pc: str):
+        self._by_name: Dict[str, Register] = {}
+        for reg in registers:
+            if reg.name in self._by_name:
+                raise ValueError(f"duplicate register {reg.name}")
+            self._by_name[reg.name] = reg
+        for special in (sp, fp, pc):
+            if special not in self._by_name:
+                raise ValueError(f"special register {special} not in file")
+        self.sp = sp
+        self.fp = fp
+        self.pc = pc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Register:
+        return self._by_name[name]
+
+    def all(self) -> List[Register]:
+        return list(self._by_name.values())
+
+    def allocatable(self, kind: RegKind) -> List[Register]:
+        """Registers of ``kind`` usable by the register allocator."""
+        return [
+            r
+            for r in self._by_name.values()
+            if r.kind == kind and r.name not in (self.sp, self.fp, self.pc)
+        ]
+
+    def callee_saved(self, kind: RegKind = None) -> List[Register]:
+        regs = [r for r in self._by_name.values() if r.callee_saved]
+        if kind is not None:
+            regs = [r for r in regs if r.kind == kind]
+        return regs
+
+    def caller_saved(self, kind: RegKind) -> List[Register]:
+        return [r for r in self.allocatable(kind) if not r.callee_saved]
+
+
+def make_registers(
+    prefix: str, indices: range, kind: RegKind, callee_saved_indices: Tuple[int, ...]
+) -> List[Register]:
+    """Build ``prefixN`` registers, marking the given indices callee-saved."""
+    saved = set(callee_saved_indices)
+    return [
+        Register(f"{prefix}{i}", kind, callee_saved=(i in saved)) for i in indices
+    ]

@@ -1,0 +1,54 @@
+"""Primitive value types shared by the IR and the ABIs.
+
+The paper relies on ARM64 and x86-64 having identical primitive sizes
+and alignments ("the primitive data types have the same sizes and
+alignments for ARM64 and x86-64"), which is what makes a common data
+layout possible without per-access conversion.  We model exactly the
+LP64 common subset.
+"""
+
+import enum
+
+
+class ValueType(enum.Enum):
+    """Primitive types understood by the IR and both ABIs."""
+
+    I8 = "i8"
+    I16 = "i16"
+    I32 = "i32"
+    I64 = "i64"
+    F32 = "f32"
+    F64 = "f64"
+    PTR = "ptr"
+
+    def __repr__(self) -> str:
+        return f"ValueType.{self.name}"
+
+    @property
+    def is_float(self) -> bool:
+        return self in (ValueType.F32, ValueType.F64)
+
+    @property
+    def is_integer(self) -> bool:
+        return not self.is_float
+
+
+_SIZES = {
+    ValueType.I8: 1,
+    ValueType.I16: 2,
+    ValueType.I32: 4,
+    ValueType.I64: 8,
+    ValueType.F32: 4,
+    ValueType.F64: 8,
+    ValueType.PTR: 8,
+}
+
+
+def type_size(vt: ValueType) -> int:
+    """Size in bytes of a primitive type (LP64, both ISAs)."""
+    return _SIZES[vt]
+
+
+def type_align(vt: ValueType) -> int:
+    """Natural alignment in bytes (equal to size on both ISAs)."""
+    return _SIZES[vt]

@@ -1,0 +1,77 @@
+"""x86-64 with the SysV AMD64 ABI (Intel Xeon E5 class).
+
+rdi/rsi/rdx/rcx/r8/r9 carry integer arguments; rbx, r12-r15 (and rbp)
+are callee-saved; xmm0-7 carry FP arguments and no FP register is
+callee-saved.  The call instruction pushes the return address.
+"""
+
+from repro.isa.abi import CallingConvention, FrameLayoutStyle
+from repro.isa.isa import InstrClass, Isa
+from repro.isa.registers import Register, RegisterFile, RegKind
+
+
+def _build_regfile() -> RegisterFile:
+    gpr_names = [
+        ("rax", False),
+        ("rbx", True),
+        ("rcx", False),
+        ("rdx", False),
+        ("rsi", False),
+        ("rdi", False),
+        ("r8", False),
+        ("r9", False),
+        ("r10", False),
+        ("r11", False),
+        ("r12", True),
+        ("r13", True),
+        ("r14", True),
+        ("r15", True),
+    ]
+    gprs = [Register(n, RegKind.GPR, callee_saved=s) for n, s in gpr_names]
+    fprs = [Register(f"xmm{i}", RegKind.FPR, callee_saved=False) for i in range(16)]
+    specials = [
+        Register("rbp", RegKind.SPECIAL),  # frame pointer
+        Register("rsp", RegKind.SPECIAL),
+        Register("rip", RegKind.SPECIAL),
+    ]
+    return RegisterFile(gprs + fprs + specials, sp="rsp", fp="rbp", pc="rip")
+
+
+_CC = CallingConvention(
+    name="sysv-amd64",
+    int_arg_regs=("rdi", "rsi", "rdx", "rcx", "r8", "r9"),
+    fp_arg_regs=("xmm0", "xmm1", "xmm2", "xmm3", "xmm4", "xmm5", "xmm6", "xmm7"),
+    int_return_reg="rax",
+    fp_return_reg="xmm0",
+    stack_alignment=16,
+    red_zone=128,
+    return_address_on_stack=True,
+    link_register="",
+    frame_style=FrameLayoutStyle.SYSV_X86_64,
+)
+
+# CISC memory operands fold loads into ALU ops, so several abstract
+# operations lower to fewer machine instructions than on a RISC.
+_EXPANSION = {
+    InstrClass.INT_ALU: 0.9,
+    InstrClass.FP_ALU: 1.0,
+    InstrClass.LOAD: 1.0,
+    InstrClass.STORE: 1.0,
+    InstrClass.BRANCH: 1.0,
+    InstrClass.CALL: 1.0,
+    InstrClass.RET: 1.0,
+    InstrClass.MOV: 0.9,
+    InstrClass.ATOMIC: 1.0,
+    InstrClass.SYSCALL: 1.0,
+    InstrClass.NOP: 1.0,
+}
+
+X86_64 = Isa(
+    name="x86_64",
+    description="x86-64 / SysV AMD64 (Intel Xeon E5 class)",
+    regfile=_build_regfile(),
+    cc=_CC,
+    bytes_per_instr=3.7,
+    lowering_expansion=_EXPANSION,
+    tls_variant=2,
+)

@@ -1,0 +1,42 @@
+"""The replicated-kernel operating system (Popcorn Linux model).
+
+One kernel per machine, no shared state, everything over messages
+(:mod:`repro.kernel.messages`).  Distributed services present the
+single-environment illusion to heterogeneous OS-containers:
+
+* :mod:`repro.kernel.dsm` — heterogeneous distributed shared memory;
+* :mod:`repro.kernel.loader` — the heterogeneous binary loader
+  (per-ISA ``.text`` aliased at the same virtual addresses);
+* :mod:`repro.kernel.migration` — the thread migration service and
+  heterogeneous continuations;
+* :mod:`repro.kernel.namespaces` — heterogeneous OS-containers;
+* :mod:`repro.kernel.filesystem` — the replicated VFS namespace;
+* :mod:`repro.kernel.syscall` — the narrow syscall interface;
+* :mod:`repro.kernel.kernel` — the per-machine kernel and the
+  :class:`~repro.kernel.kernel.PopcornSystem` testbed driver.
+"""
+
+from repro.kernel.messages import Message, MessagingLayer
+from repro.kernel.process import Process, Thread, ThreadState
+from repro.kernel.namespaces import HeterogeneousContainer, Namespace
+from repro.kernel.filesystem import VirtualFileSystem
+from repro.kernel.dsm import DsmService, DsmStats
+from repro.kernel.loader import load_binary
+from repro.kernel.kernel import Kernel, PopcornSystem, boot_testbed
+
+__all__ = [
+    "Message",
+    "MessagingLayer",
+    "Process",
+    "Thread",
+    "ThreadState",
+    "Namespace",
+    "HeterogeneousContainer",
+    "VirtualFileSystem",
+    "DsmService",
+    "DsmStats",
+    "load_binary",
+    "Kernel",
+    "PopcornSystem",
+    "boot_testbed",
+]

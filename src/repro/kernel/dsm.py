@@ -1,0 +1,180 @@
+"""Heterogeneous distributed shared memory (hDSM, Section 5.1).
+
+Page-granularity MSI-style coherence across kernels:
+
+* every page has an owner kernel and a set of kernels holding a valid
+  copy;
+* a read from a kernel without a valid copy fetches the page (one RPC +
+  one page payload) and joins the sharer set;
+* a write from a non-owner fetches + invalidates the other copies and
+  takes ownership ("migrates pages in order to make subsequent memory
+  accesses local");
+* pages of *aliased* regions (per-ISA ``.text``, vDSO) are always local
+  everywhere and never transferred — that is the memory-region aliasing
+  the paper added for heterogeneity.
+
+Bulk first-touch after a migration is served by :meth:`ensure_range`
+with pipelined bandwidth-limited timing — the multithreaded page-pull
+burst visible in Figure 11.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.linker.layout import PAGE_SIZE, page_of
+from repro.runtime.address_space import AddressSpace
+
+
+@dataclass
+class DsmStats:
+    """Page-traffic counters, per process."""
+
+    faults: int = 0
+    page_transfers: int = 0
+    invalidations: int = 0
+    bytes_transferred: int = 0
+
+    def snapshot(self) -> "DsmStats":
+        return DsmStats(
+            self.faults,
+            self.page_transfers,
+            self.invalidations,
+            self.bytes_transferred,
+        )
+
+
+class DsmService:
+    """Per-process page coherence across the replicated kernels."""
+
+    def __init__(self, space: AddressSpace, messaging, home_kernel: str):
+        self.space = space
+        self.messaging = messaging
+        self.home = home_kernel
+        self._aliased = space.aliased_pages()
+        # page -> owner kernel; absent means untouched (zero page),
+        # owned by whoever touches it first.
+        self._owner: Dict[int, str] = {}
+        # page -> kernels with a valid (read) copy, owner included.
+        self._valid: Dict[int, Set[str]] = {}
+        self.stats = DsmStats()
+        # Monotonic epoch: bumped on every residency change; lets the
+        # engine cache "this whole range is local" checks.
+        self.epoch = 0
+
+    # ----------------------------------------------------------- faults
+
+    def is_local(self, kernel: str, page: int, write: bool) -> bool:
+        if page in self._aliased:
+            return True
+        owner = self._owner.get(page)
+        if owner is None:
+            return True  # first touch anywhere is local (zero page)
+        if write:
+            return owner == kernel and self._valid.get(page) == {kernel}
+        return kernel in self._valid.get(page, set())
+
+    def access(self, kernel: str, addr: int, write: bool) -> float:
+        """Account one access; returns fault service time in seconds."""
+        page = page_of(addr)
+        if self.is_local(kernel, page, write):
+            self._note_first_touch(kernel, page)
+            return 0.0
+        return self._fault(kernel, page, write)
+
+    def _note_first_touch(self, kernel: str, page: int) -> None:
+        if page not in self._owner and page not in self._aliased:
+            self._owner[page] = kernel
+            self._valid[page] = {kernel}
+
+    def _fault(self, kernel: str, page: int, write: bool) -> float:
+        self.stats.faults += 1
+        owner = self._owner[page]
+        cost = self.messaging.rpc(
+            "dsm.page", kernel, owner, request_bytes=32, reply_bytes=PAGE_SIZE
+        )
+        self.stats.page_transfers += 1
+        self.stats.bytes_transferred += PAGE_SIZE
+        sharers = self._valid.setdefault(page, {owner})
+        if write:
+            # Invalidate all other copies and take ownership.
+            others = [k for k in sharers if k != kernel]
+            if others:
+                cost += self.messaging.broadcast(
+                    "dsm.inval", kernel, others, payload_bytes=32
+                )
+                self.stats.invalidations += len(others)
+            self._valid[page] = {kernel}
+            self._owner[page] = kernel
+        else:
+            sharers.add(kernel)
+        self.epoch += 1
+        return cost
+
+    # ------------------------------------------------------------- bulk
+
+    def ensure_range(self, kernel: str, base: int, span: int, write: bool) -> Tuple[float, int]:
+        """Make [base, base+span) locally accessible from ``kernel``.
+
+        Returns (seconds, pages_transferred).  Transfers are pipelined:
+        one round-trip of latency plus bandwidth-limited payload time,
+        modelling the multithreaded hDSM pulling pages in bulk.
+        """
+        if span <= 0:
+            return (0.0, 0)
+        first = page_of(base)
+        last = page_of(base + span - 1)
+        missing = [
+            p
+            for p in range(first, last + 1)
+            if not self.is_local(kernel, p, write)
+        ]
+        for p in range(first, last + 1):
+            self._note_first_touch(kernel, p)
+        if not missing:
+            return (0.0, 0)
+        for page in missing:
+            owner = self._owner[page]
+            sharers = self._valid.setdefault(page, {owner})
+            if write:
+                self.stats.invalidations += len([k for k in sharers if k != kernel])
+                self._valid[page] = {kernel}
+                self._owner[page] = kernel
+            else:
+                sharers.add(kernel)
+        n = len(missing)
+        self.stats.faults += 1
+        self.stats.page_transfers += n
+        self.stats.bytes_transferred += n * PAGE_SIZE
+        interconnect = self.messaging.interconnect
+        cost = (
+            interconnect.latency_s * 2
+            + (n * (PAGE_SIZE + 64)) / interconnect.bandwidth_bytes_per_s
+            + interconnect.per_message_cpu_s
+        )
+        interconnect.record(n * (PAGE_SIZE + 64))
+        self.epoch += 1
+        return (cost, n)
+
+    # ------------------------------------------------------- inspection
+
+    def resident_pages(self, kernel: str) -> int:
+        return sum(1 for sharers in self._valid.values() if kernel in sharers)
+
+    def owner_of(self, addr: int) -> Optional[str]:
+        return self._owner.get(page_of(addr))
+
+    def all_threads_migrated_cleanup(self, kernel: str) -> int:
+        """Drop residual copies once no thread runs on ``kernel``.
+
+        "After migration, the process's data is kept on the source
+        kernel until there are residual dependencies."  Returns the
+        number of copies dropped.
+        """
+        dropped = 0
+        for page, sharers in list(self._valid.items()):
+            if kernel in sharers and self._owner.get(page) != kernel:
+                sharers.discard(kernel)
+                dropped += 1
+        if dropped:
+            self.epoch += 1
+        return dropped

@@ -1,0 +1,213 @@
+"""Per-machine kernels and the replicated-kernel system driver.
+
+A :class:`Kernel` is one natively-compiled OS instance on one machine.
+:class:`PopcornSystem` is the testbed: the set of kernels, the
+interconnect between them, the shared simulated clock, and the
+process/migration services that span kernels.  It is the object
+experiments interact with.
+"""
+
+from typing import Dict, List, Optional
+
+from repro.compiler.toolchain import MultiIsaBinary
+from repro.kernel.filesystem import VirtualFileSystem
+from repro.kernel.loader import init_thread_tls, load_binary, thread_pointer_for
+from repro.kernel.messages import MessagingLayer
+from repro.kernel.namespaces import HeterogeneousContainer
+from repro.kernel.process import KernelThreadState, Process, Thread, ThreadState
+from repro.kernel.services import ServiceRegistry
+from repro.machine.interconnect import Interconnect, make_dolphin_pxh810
+from repro.machine.machine import Machine, make_xeon_e5_1650v2, make_xgene1
+from repro.runtime.stack import Frame, UserStack
+from repro.sim.clock import Clock
+
+
+class Kernel:
+    """One OS instance, natively compiled for its machine's ISA."""
+
+    def __init__(self, machine: Machine, system: "PopcornSystem"):
+        self.machine = machine
+        self.system = system
+        self.name = machine.name
+        # Threads currently homed on this kernel.
+        self.threads: Dict[int, Thread] = {}
+
+    @property
+    def isa_name(self) -> str:
+        return self.machine.isa.name
+
+    def adopt_thread(self, thread: Thread) -> None:
+        self.threads[thread.tid] = thread
+        if thread.state == ThreadState.RUNNABLE:
+            self.machine.thread_started()
+
+    def release_thread(self, thread: Thread) -> None:
+        self.threads.pop(thread.tid, None)
+        if thread.state == ThreadState.RUNNABLE:
+            self.machine.thread_stopped()
+
+    def __repr__(self) -> str:
+        return f"Kernel({self.name}/{self.isa_name}, threads={len(self.threads)})"
+
+
+class PopcornSystem:
+    """The multi-machine testbed: kernels + interconnect + clock."""
+
+    def __init__(
+        self,
+        machines: List[Machine],
+        interconnect: Optional[Interconnect] = None,
+        clock: Optional[Clock] = None,
+    ):
+        if not machines:
+            raise ValueError("a system needs at least one machine")
+        self.clock = clock if clock is not None else Clock()
+        for machine in machines:
+            machine.clock = self.clock
+        self.machines: Dict[str, Machine] = {m.name: m for m in machines}
+        self.machine_order = [m.name for m in machines]
+        self.interconnect = (
+            interconnect if interconnect is not None else make_dolphin_pxh810()
+        )
+        self.messaging = MessagingLayer(self.interconnect)
+        self.kernels: Dict[str, Kernel] = {
+            m.name: Kernel(m, self) for m in machines
+        }
+        self.vfs = VirtualFileSystem(self.messaging, self.machine_order[0])
+        self.services = ServiceRegistry(self.messaging, self.machine_order)
+        self.processes: Dict[int, Process] = {}
+        self._next_pid = 1
+        self._next_tid = 1
+
+    # ----------------------------------------------------------- lookup
+
+    def kernel_of(self, thread: Thread) -> Kernel:
+        return self.kernels[thread.machine_name]
+
+    def machine_of(self, thread: Thread) -> Machine:
+        return self.machines[thread.machine_name]
+
+    def isa_of(self, machine_name: str) -> str:
+        return self.machines[machine_name].isa.name
+
+    # ------------------------------------------------------------- exec
+
+    def exec_process(
+        self,
+        binary: MultiIsaBinary,
+        machine_name: str,
+        container: Optional[HeterogeneousContainer] = None,
+        argv: Optional[List[float]] = None,
+    ) -> Process:
+        """Load a multi-ISA binary and create its main thread."""
+        if machine_name not in self.machines:
+            raise KeyError(f"unknown machine {machine_name}")
+        if self.isa_of(machine_name) not in binary.binaries:
+            raise ValueError(
+                f"binary lacks code for {self.isa_of(machine_name)}"
+            )
+        pid = self._next_pid
+        self._next_pid += 1
+        process = load_binary(
+            binary, pid, machine_name, self.messaging, self.machine_order
+        )
+        process.container = container or HeterogeneousContainer(
+            f"ctr-{binary.module.name}-{pid}"
+        )
+        process.container.span_to(machine_name)
+        process.container.adopt(pid)
+        self.processes[pid] = process
+        self.spawn_thread(
+            process,
+            machine_name,
+            function=binary.module.entry,
+            args=list(argv or []),
+        )
+        return process
+
+    def spawn_thread(
+        self,
+        process: Process,
+        machine_name: str,
+        function: str,
+        args: List[float],
+    ) -> Thread:
+        """Create a thread parked at ``function``'s entry."""
+        binary = process.binary
+        if function not in binary.module.functions:
+            raise KeyError(f"no function {function} in {binary.module.name}")
+        tid = self._next_tid
+        self._next_tid += 1
+        stack_index = process.next_stack_index()
+        low, high = binary.vm_map.stack_region(stack_index)
+        stack = UserStack(low, high)
+        tp = thread_pointer_for(binary, stack_index)
+        init_thread_tls(process.space, binary, tp)
+
+        thread = Thread(tid, process, machine_name, stack, tp)
+        thread.start_function = function
+        thread.start_args = list(args)
+        isa_name = self.isa_of(machine_name)
+        mf = binary.machine_function(isa_name, function)
+        cfa = stack.top
+        thread.frames = [Frame(mf=mf, cfa=cfa)]
+        thread.pc = (mf.fn.entry, 0)
+        # Seed the register file for the current ISA.
+        thread.regs = {r.name: 0 for r in mf.isa.regfile.all()}
+        thread.regs[mf.isa.regfile.sp] = cfa - mf.frame.frame_size
+        thread.regs[mf.isa.regfile.fp] = cfa
+        # Bind start arguments into the entry function's parameter
+        # locations (register or frame slot), as the clone trampoline
+        # would.
+        for (pname, _vt), value in zip(mf.fn.params, args):
+            reg = mf.alloc.reg_assignment.get(pname)
+            if reg is not None:
+                thread.regs[reg] = value
+            else:
+                process.space.write(
+                    cfa - mf.frame.slot_depths[pname], value
+                )
+
+        process.threads[tid] = thread
+        self.kernels[machine_name].adopt_thread(thread)
+        # Publish the thread in the replicated process table so every
+        # kernel can resolve it; the registration cost is charged to
+        # the spawn syscall by the caller.
+        thread.spawn_service_cost = self.services.proctable.register_thread(
+            machine_name, process.pid, tid, machine_name
+        )
+        return thread
+
+    # -------------------------------------------------------- migration
+
+    def request_migration(self, process: Process, machine_name: str) -> None:
+        """Set the vDSO flag for every thread of ``process``.
+
+        Threads notice at their next migration point and migrate
+        themselves — there is no stop-the-world.
+        """
+        if machine_name not in self.machines:
+            raise KeyError(f"unknown machine {machine_name}")
+        for thread in process.alive_threads:
+            process.vdso.request_migration(thread.tid, machine_name)
+
+    def request_thread_migration(self, thread: Thread, machine_name: str) -> None:
+        thread.process.vdso.request_migration(thread.tid, machine_name)
+
+    # ---------------------------------------------------------- teardown
+
+    def reap_process(self, process: Process) -> None:
+        for thread in process.threads.values():
+            if thread.state != ThreadState.DONE:
+                self.kernels[thread.machine_name].release_thread(thread)
+                thread.state = ThreadState.DONE
+        self.services.forget_process(process.pid)
+        self.processes.pop(process.pid, None)
+
+
+def boot_testbed(clock: Optional[Clock] = None) -> PopcornSystem:
+    """The paper's dual-server setup: X-Gene 1 + Xeon over Dolphin PCIe."""
+    clock = clock if clock is not None else Clock()
+    arm = make_xgene1("arm-server", clock)
+    x86 = make_xeon_e5_1650v2("x86-server", clock)
+    return PopcornSystem([arm, x86], make_dolphin_pxh810(), clock)

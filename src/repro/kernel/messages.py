@@ -1,0 +1,78 @@
+"""The inter-kernel messaging layer.
+
+"Kernels do not share any data structures, but interact via messages."
+Every cross-kernel interaction — DSM page requests, thread migration,
+replicated service updates — charges time through this layer, which in
+turn charges the interconnect model.
+"""
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.machine.interconnect import Interconnect
+
+HEADER_BYTES = 64
+
+
+@dataclass(frozen=True)
+class Message:
+    """One inter-kernel message (for accounting and tests)."""
+
+    kind: str
+    src: str
+    dst: str
+    payload_bytes: int
+
+    @property
+    def wire_bytes(self) -> int:
+        return HEADER_BYTES + self.payload_bytes
+
+
+class MessagingLayer:
+    """Synchronous RPC between kernels over the interconnect."""
+
+    def __init__(self, interconnect: Interconnect):
+        self.interconnect = interconnect
+        self.counts: Counter = Counter()
+        self.bytes_by_kind: Counter = Counter()
+
+    def send(self, kind: str, src: str, dst: str, payload_bytes: int) -> float:
+        """One-way message; returns the transfer time in seconds."""
+        if src == dst:
+            return 0.0  # local service invocation, no wire crossing
+        msg = Message(kind, src, dst, payload_bytes)
+        self.counts[kind] += 1
+        self.bytes_by_kind[kind] += msg.wire_bytes
+        self.interconnect.record(msg.wire_bytes)
+        return (
+            self.interconnect.transfer_time(msg.wire_bytes)
+            + self.interconnect.per_message_cpu_s
+        )
+
+    def rpc(
+        self,
+        kind: str,
+        src: str,
+        dst: str,
+        request_bytes: int,
+        reply_bytes: int = 0,
+    ) -> float:
+        """Request/reply round trip; returns total time in seconds."""
+        if src == dst:
+            return 0.0
+        out = self.send(kind + ".req", src, dst, request_bytes)
+        back = self.send(kind + ".rep", dst, src, reply_bytes)
+        return out + back
+
+    def broadcast(
+        self, kind: str, src: str, others, payload_bytes: int
+    ) -> float:
+        """Send to every other kernel; returns the slowest arrival."""
+        worst = 0.0
+        for dst in others:
+            worst = max(worst, self.send(kind, src, dst, payload_bytes))
+        return worst
+
+    def stats(self) -> Dict[str, int]:
+        return dict(self.counts)

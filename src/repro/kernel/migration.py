@@ -1,0 +1,153 @@
+"""The thread migration service.
+
+Migration sequence at a migration point (Sections 5.1 and 5.3):
+
+1. the user-space runtime transforms the stack into the inactive half
+   (:class:`repro.runtime.transform.StackTransformer`) and maps the
+   register state (r_AB) — charged to the thread at the *source*
+   machine's speed;
+2. the thread "makes a system call to the thread migration service":
+   the source kernel ships the thread context (registers + metadata) to
+   the destination kernel over the messaging layer;
+3. the destination kernel materialises a heterogeneous continuation
+   (fresh per-ISA kernel stack + TCB) and the container's namespaces
+   span to it if they had not already;
+4. execution resumes immediately; memory follows on demand through the
+   hDSM (no stop-the-world) — visible as the post-migration page-pull
+   spike of Figure 11.
+
+Homogeneous-ISA migration (the dynamic policies may also move work
+between identical x86 boxes) skips the transformation but pays the
+kernel-level hand-off.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.kernel.process import KernelThreadState, Thread, ThreadState
+from repro.runtime.transform import StackTransformer, TransformStats
+
+THREAD_CONTEXT_BYTES = 2048  # register file + unwound-metadata summary
+CONTINUATION_SETUP_S = 12e-6  # kernel stack + TCB creation on the target
+NAMESPACE_REPLICA_BYTES = 512
+
+
+@dataclass
+class MigrationOutcome:
+    """What one migration cost and produced."""
+
+    src_machine: str
+    dst_machine: str
+    cross_isa: bool
+    transform: Optional[TransformStats]
+    transform_seconds: float
+    handoff_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.transform_seconds + self.handoff_seconds
+
+
+class MigrationService:
+    """Kernel-level half of execution migration."""
+
+    def __init__(self, system):
+        self.system = system
+        self.migrations = 0
+        self.cross_isa_migrations = 0
+
+    def migrate_thread(
+        self, thread: Thread, dst_machine: str, migpoint_site: int
+    ) -> MigrationOutcome:
+        """Move ``thread`` to ``dst_machine``; returns the outcome.
+
+        The caller (execution engine) is responsible for charging
+        ``outcome.total_seconds`` to the thread's virtual time.
+        """
+        system = self.system
+        src_machine = thread.machine_name
+        if dst_machine == src_machine:
+            raise ValueError("migration to the current machine")
+        src_isa = system.isa_of(src_machine)
+        dst_isa = system.isa_of(dst_machine)
+        process = thread.process
+
+        # 1. User-space state transformation (cross-ISA only).
+        transform_stats = None
+        transform_seconds = 0.0
+        if src_isa != dst_isa:
+            transformer = StackTransformer(process.binary, process.space)
+            transform_stats = transformer.transform(
+                thread, dst_isa, migpoint_site
+            )
+            transform_seconds = transform_stats.latency_seconds(src_isa)
+            # The rewritten stack was produced on the *source* machine:
+            # claim its pages for the source kernel so the destination
+            # faults them over on demand (no stop-the-world, Fig. 11).
+            innermost = thread.frames[-1]
+            low = innermost.cfa - innermost.mf.frame.frame_size
+            process.dsm.ensure_range(
+                src_machine, low, thread.stack.top - low, write=True
+            )
+
+        # 2. Kernel hand-off over the messaging layer.
+        handoff = system.messaging.rpc(
+            "migrate.thread",
+            src_machine,
+            dst_machine,
+            request_bytes=THREAD_CONTEXT_BYTES,
+            reply_bytes=64,
+        )
+
+        # 3. Container namespaces span to the destination kernel.
+        created = process.container.span_to(dst_machine)
+        if created:
+            handoff += system.messaging.rpc(
+                "ns.replicate",
+                src_machine,
+                dst_machine,
+                request_bytes=created * NAMESPACE_REPLICA_BYTES,
+                reply_bytes=64,
+            )
+
+        # 4. The replicated process table observes the move, so every
+        # kernel can still route signals/joins to the thread.
+        handoff += system.services.proctable.note_migration(
+            src_machine, process.pid, thread.tid, dst_machine
+        )
+
+        # 5. Heterogeneous continuation on the destination kernel.
+        if dst_machine not in thread.kernel_state:
+            thread.kernel_state[dst_machine] = KernelThreadState(
+                dst_machine, created_at=system.clock.now
+            )
+            handoff += CONTINUATION_SETUP_S
+
+        # Rebind the thread.
+        src_kernel = system.kernels[src_machine]
+        dst_kernel = system.kernels[dst_machine]
+        src_kernel.release_thread(thread)
+        thread.machine_name = dst_machine
+        dst_kernel.adopt_thread(thread)
+
+        process.vdso.clear(thread.tid)
+        thread.migrations += 1
+        self.migrations += 1
+        cross = src_isa != dst_isa
+        if cross:
+            self.cross_isa_migrations += 1
+
+        # The transfer shows up on both machines' I/O power rails.
+        duration = transform_seconds + handoff
+        system.machines[src_machine].note_io_activity(duration)
+        system.machines[dst_machine].note_io_activity(duration)
+
+        # Source pages become residual state, pulled over on demand.
+        return MigrationOutcome(
+            src_machine=src_machine,
+            dst_machine=dst_machine,
+            cross_isa=cross,
+            transform=transform_stats,
+            transform_seconds=transform_seconds,
+            handoff_seconds=handoff,
+        )

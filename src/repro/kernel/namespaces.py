@@ -1,0 +1,89 @@
+"""Namespaces and heterogeneous OS-containers (Section 4.1).
+
+A container is a bundle of namespaces — "operating-system based
+virtual machines on different ISA machines, and migration amongst
+them".  Built on the replicated kernel's distributed services, the
+container's view (hostname, PID space, mounts, resource limits) is
+identical on every kernel, so an application observes the same
+operating environment before and after crossing ISAs.
+"""
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+NAMESPACE_KINDS = ("pid", "mnt", "uts", "ipc", "net", "user")
+
+
+@dataclass
+class Namespace:
+    """One namespace of one kind, replicated across kernels."""
+
+    kind: str
+    ns_id: int
+    # Which kernels have instantiated the replica.
+    present_on: Set[str] = field(default_factory=set)
+
+    def __post_init__(self):
+        if self.kind not in NAMESPACE_KINDS:
+            raise ValueError(f"unknown namespace kind {self.kind!r}")
+
+
+class HeterogeneousContainer:
+    """A migratable container: namespaces + member processes.
+
+    The container "elastically spans across ISAs during execution
+    migration": replicas of its namespaces are created on a kernel the
+    first time one of its threads lands there.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, name: str, hostname: str = ""):
+        self.container_id = next(self._ids)
+        self.name = name
+        self.hostname = hostname or name
+        self.namespaces: Dict[str, Namespace] = {
+            kind: Namespace(kind, ns_id=self.container_id * 10 + i)
+            for i, kind in enumerate(NAMESPACE_KINDS)
+        }
+        self.pids: List[int] = []
+        # Container-local PID mapping (PID namespace semantics).
+        self._pid_map: Dict[int, int] = {}
+        self._next_local_pid = 1
+
+    def span_to(self, kernel_name: str) -> int:
+        """Instantiate namespace replicas on a kernel; returns how many
+        replicas were newly created (each costs one service message)."""
+        created = 0
+        for ns in self.namespaces.values():
+            if kernel_name not in ns.present_on:
+                ns.present_on.add(kernel_name)
+                created += 1
+        return created
+
+    def spans(self, kernel_name: str) -> bool:
+        return all(kernel_name in ns.present_on for ns in self.namespaces.values())
+
+    def kernels(self) -> Set[str]:
+        spanned = None
+        for ns in self.namespaces.values():
+            spanned = ns.present_on if spanned is None else spanned & ns.present_on
+        return set(spanned or set())
+
+    def adopt(self, pid: int) -> int:
+        """Add a process; returns its container-local PID."""
+        self.pids.append(pid)
+        local = self._next_local_pid
+        self._next_local_pid += 1
+        self._pid_map[pid] = local
+        return local
+
+    def local_pid(self, pid: int) -> Optional[int]:
+        return self._pid_map.get(pid)
+
+    def __repr__(self) -> str:
+        return (
+            f"HeterogeneousContainer({self.name}, kernels={sorted(self.kernels())}, "
+            f"pids={self.pids})"
+        )

@@ -1,0 +1,38 @@
+"""Multi-ISA linking: common address-space layout (Section 5.2.2).
+
+The paper's gold-based pipeline plus the "alignment tool" (a Java
+program reading symbol sizes from trial links and emitting per-ISA
+linker scripts that pin every symbol to the same virtual address) are
+reproduced here:
+
+* :mod:`repro.linker.elf` — object-file model: sections and symbols
+  with per-ISA sizes;
+* :mod:`repro.linker.alignment` — the alignment engine: progressive
+  address assignment, padding function symbols to the maximum size
+  across ISAs;
+* :mod:`repro.linker.linker_script` — renders the per-ISA scripts;
+* :mod:`repro.linker.tls` — common thread-local-storage layout (all
+  ISAs adopt the x86-64 TLS symbol mapping, as the modified musl does);
+* :mod:`repro.linker.layout` — the virtual memory map shared by loader,
+  heap and stacks.
+"""
+
+from repro.linker.elf import IsaObject, Section, Symbol
+from repro.linker.layout import VirtualMemoryMap, DEFAULT_VM_MAP, PAGE_SIZE
+from repro.linker.alignment import AlignedLayout, align_symbols
+from repro.linker.linker_script import render_linker_script
+from repro.linker.tls import TlsLayout, build_tls_layout
+
+__all__ = [
+    "Section",
+    "Symbol",
+    "IsaObject",
+    "VirtualMemoryMap",
+    "DEFAULT_VM_MAP",
+    "PAGE_SIZE",
+    "AlignedLayout",
+    "align_symbols",
+    "render_linker_script",
+    "TlsLayout",
+    "build_tls_layout",
+]

@@ -1,0 +1,31 @@
+"""Hardware models of the paper's evaluation platform.
+
+Two servers — an APM X-Gene 1 class ARM board (8 cores @ 2.4 GHz) and
+an Intel Xeon E5-1650 v2 class x86 server (6 cores @ 3.5 GHz,
+hyper-threading disabled as in the paper) — joined by a Dolphin PXH810
+PCIe interconnect (64 Gb/s).  Power is observable through RAPL-like
+on-package sensors and an external shunt-resistor model, both sampled
+at 100 Hz by :mod:`repro.telemetry`.
+"""
+
+from repro.machine.cpu import CpuModel
+from repro.machine.cache import CacheModel
+from repro.machine.memory import MemoryModel
+from repro.machine.power import PowerModel, PowerSensors
+from repro.machine.machine import Machine, make_xgene1, make_xeon_e5_1650v2
+from repro.machine.interconnect import Interconnect, make_dolphin_pxh810
+from repro.machine.mcpat import project_finfet
+
+__all__ = [
+    "CpuModel",
+    "CacheModel",
+    "MemoryModel",
+    "PowerModel",
+    "PowerSensors",
+    "Machine",
+    "make_xgene1",
+    "make_xeon_e5_1650v2",
+    "Interconnect",
+    "make_dolphin_pxh810",
+    "project_finfet",
+]

@@ -1,0 +1,61 @@
+"""First-level cache model (Table 1).
+
+We do not simulate cache lines; the observable the paper reports is the
+*ratio* of L1 instruction misses between the aligned (padded) and
+unaligned builds, together with the execution-time ratio that tracks
+it.  A compact working-set model captures both effects:
+
+* the hot code footprint grows by the alignment padding, raising the
+  L1I miss ratio slightly;
+* changed function placement perturbs set conflicts either way, which
+  is why Table 1 shows both small speedups and small slowdowns — we
+  model that with a deterministic per-configuration perturbation.
+"""
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheModel:
+    """One level of instruction/data cache."""
+
+    name: str
+    size_bytes: int
+    line_bytes: int = 64
+    base_miss_ratio: float = 0.004
+    miss_penalty_cycles: float = 30.0
+
+    def miss_ratio(self, footprint_bytes: int, hot_fraction: float = 0.35) -> float:
+        """Steady-state miss ratio for a given code footprint.
+
+        Below capacity the miss ratio is the compulsory floor; above it
+        the ratio grows with the ratio of hot footprint to capacity —
+        the standard working-set knee.
+        """
+        hot = footprint_bytes * hot_fraction
+        if hot <= self.size_bytes:
+            return self.base_miss_ratio
+        overflow = (hot - self.size_bytes) / self.size_bytes
+        return self.base_miss_ratio * (1.0 + 4.0 * overflow)
+
+    def placement_perturbation(self, key: str, spread: float = 0.08) -> float:
+        """Deterministic conflict-miss perturbation in [-spread, +spread].
+
+        Moving symbols changes which functions collide in the same
+        cache sets; the direction is effectively arbitrary but stable
+        for a given (benchmark, class, ISA) configuration, which is the
+        behaviour Table 1 exhibits.
+        """
+        digest = hashlib.sha256(key.encode()).digest()
+        unit = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return (unit * 2.0 - 1.0) * spread
+
+
+def make_l1i() -> CacheModel:
+    # Both evaluation machines have 32 KiB L1I caches.
+    return CacheModel(name="L1I", size_bytes=32 * 1024)
+
+
+def make_l1d() -> CacheModel:
+    return CacheModel(name="L1D", size_bytes=32 * 1024, base_miss_ratio=0.02)

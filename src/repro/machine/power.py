@@ -1,0 +1,98 @@
+"""Power models and sensors (Section 6, "Power measurements").
+
+Two observation points per machine, as in the paper:
+
+* ``cpu_power`` — the on-package sensor (Intel RAPL on the Xeon, the
+  I2C power-regulator chips on the X-Gene board);
+* ``system_power`` — the external shunt-resistor / DAQ measurement at
+  the ATX lines, which the paper shows to be proportional to the
+  internal reading.
+
+Instantaneous power is a function of the machine's current load
+(active cores) plus any I/O activity (the hDSM transfer spike visible
+in Figure 11).
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PowerModel:
+    """Parameters of one machine's power behaviour."""
+
+    name: str
+    cpu_idle_w: float
+    core_active_w: float
+    uncore_active_w: float
+    platform_w: float  # fans, disks, NIC, VRM losses — external only
+    io_active_w: float  # interconnect/DSM activity adder
+
+    def cpu_power(self, active_cores: float, io_active: bool = False) -> float:
+        """On-package sensor reading for a given number of busy cores."""
+        power = self.cpu_idle_w + active_cores * self.core_active_w
+        if active_cores > 0:
+            power += self.uncore_active_w
+        if io_active:
+            power += self.io_active_w
+        return power
+
+    def system_power(self, active_cores: float, io_active: bool = False) -> float:
+        """External (wall-side) reading: package power plus platform."""
+        return self.cpu_power(active_cores, io_active) + self.platform_w
+
+    def scaled(self, factor: float, name_suffix: str = "") -> "PowerModel":
+        """A copy with all dynamic/idle CPU terms scaled by ``factor``.
+
+        Used by the McPAT FinFET projection (see repro.machine.mcpat).
+        The platform term is external to the SoC and is not scaled.
+        """
+        return PowerModel(
+            name=self.name + name_suffix,
+            cpu_idle_w=self.cpu_idle_w * factor,
+            core_active_w=self.core_active_w * factor,
+            uncore_active_w=self.uncore_active_w * factor,
+            platform_w=self.platform_w,
+            io_active_w=self.io_active_w * factor,
+        )
+
+
+class PowerSensors:
+    """Live sensor view bound to a machine's load-tracking callbacks."""
+
+    def __init__(self, model: PowerModel, active_cores_fn, io_active_fn):
+        self.model = model
+        self._active_cores = active_cores_fn
+        self._io_active = io_active_fn
+
+    def cpu_power(self) -> float:
+        return self.model.cpu_power(self._active_cores(), self._io_active())
+
+    def system_power(self) -> float:
+        return self.model.system_power(self._active_cores(), self._io_active())
+
+
+def make_xeon_power() -> PowerModel:
+    # Fig. 11 (right column): x86 system power swings ~55 W idle to
+    # ~120 W busy; RAPL package idle on Ivy Bridge-EP is ~30 W.
+    return PowerModel(
+        name="Xeon E5-1650 v2",
+        cpu_idle_w=30.0,
+        core_active_w=10.0,
+        uncore_active_w=6.0,
+        platform_w=28.0,
+        io_active_w=8.0,
+    )
+
+
+def make_xgene_power() -> PowerModel:
+    # Fig. 11 (left column): the first-generation X-Gene board is not
+    # energy proportional — high idle, modest dynamic range (~45-70 W
+    # system).
+    return PowerModel(
+        name="APM X-Gene 1",
+        cpu_idle_w=22.0,
+        core_active_w=3.0,
+        uncore_active_w=4.0,
+        platform_w=22.0,
+        io_active_w=6.0,
+    )

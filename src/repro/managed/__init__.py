@@ -1,0 +1,25 @@
+"""Managed-language migration baseline (PadMig, Section 6/7).
+
+PadMig migrates Java applications between heterogeneous-ISA machines by
+reflectively serialising the object graph, shipping it, and
+deserialising on the other side.  This package models that pipeline —
+object graphs, a reflection-based serialiser with realistic
+throughputs, and a runtime that executes workloads at managed-language
+speed — to reproduce the Figure 11 comparison (23 s Java vs 11 s
+native for NPB IS B serial).
+"""
+
+from repro.managed.objects import ManagedArray, ManagedObject, ObjectGraph
+from repro.managed.serializer import ReflectionSerializer, SerializationResult
+from repro.managed.padmig import PadMigRuntime, PadMigPhase, PadMigRun
+
+__all__ = [
+    "ManagedObject",
+    "ManagedArray",
+    "ObjectGraph",
+    "ReflectionSerializer",
+    "SerializationResult",
+    "PadMigRuntime",
+    "PadMigPhase",
+    "PadMigRun",
+]

@@ -1,0 +1,64 @@
+"""Reflection-based serialisation (the PadMig/JnJVM mechanism).
+
+Java reflective serialisation is slow for two reasons the model keeps
+separate: a *per-object* reflective overhead (field discovery, boxing,
+identity-hash bookkeeping) and a *per-byte* encode cost.  The inverse
+applies on deserialisation, which is typically slower still (object
+allocation + constructor paths).
+
+Throughputs are calibrated so the Figure 11 PadMig run spends ~8 s
+serialising + deserialising an NPB IS class-B heap, as measured in the
+paper.
+"""
+
+from dataclasses import dataclass
+
+from repro.machine.machine import Machine
+from repro.managed.objects import ObjectGraph
+
+
+@dataclass(frozen=True)
+class SerializationResult:
+    objects: int
+    payload_bytes: int
+    seconds: float
+
+
+@dataclass(frozen=True)
+class ReflectionSerializer:
+    """Cost model for one direction of the serialise/deserialise pair."""
+
+    # Reflective walk: objects per second per GHz of host clock.
+    objects_per_s_per_ghz: float = 450_000.0
+    # Payload encode/decode bandwidth per GHz (bytes/s) — reflective
+    # Java serialisation streams tens of MB/s, not memory bandwidth.
+    bytes_per_s_per_ghz: float = 30e6
+    # Deserialisation penalty (allocation + constructors).
+    deserialize_factor: float = 1.6
+
+    def _ghz(self, machine: Machine) -> float:
+        return machine.cpu.freq_hz / 1e9
+
+    def serialize(self, graph: ObjectGraph, machine: Machine) -> SerializationResult:
+        objects = graph.object_count()
+        payload = graph.total_bytes()
+        ghz = self._ghz(machine)
+        seconds = objects / (self.objects_per_s_per_ghz * ghz) + payload / (
+            self.bytes_per_s_per_ghz * ghz
+        )
+        # An ARM-class core is slower per clock at pointer chasing.
+        if machine.isa.name == "arm64":
+            seconds *= 1.9
+        return SerializationResult(objects, payload, seconds)
+
+    def deserialize(
+        self, result: SerializationResult, machine: Machine
+    ) -> SerializationResult:
+        ghz = self._ghz(machine)
+        seconds = (
+            result.objects / (self.objects_per_s_per_ghz * ghz)
+            + result.payload_bytes / (self.bytes_per_s_per_ghz * ghz)
+        ) * self.deserialize_factor
+        if machine.isa.name == "arm64":
+            seconds *= 1.9
+        return SerializationResult(result.objects, result.payload_bytes, seconds)

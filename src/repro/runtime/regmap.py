@@ -1,0 +1,38 @@
+"""Register-state mapping r_AB (Sections 4 and 5.1).
+
+"When a user thread migrates amongst different-ISA processors, the
+kernel provides a service that maps the program counter, frame pointer,
+and stack pointer registers from one ISA to the other."  Everything
+else in the destination register file starts from a known-good state:
+caller-saved registers are dead at migration points (they are call
+sites), and live callee-saved values are installed afterwards by the
+stack transformation.
+"""
+
+from typing import Dict
+
+from repro.isa import Isa
+
+
+def map_registers(
+    dst_isa: Isa,
+    sp: int,
+    fp: int,
+    pc: int,
+    link: int = 0,
+) -> Dict[str, float]:
+    """Build the destination register file.
+
+    ``sp``/``fp``/``pc`` are the already-transformed values (they point
+    into the destination stack half and the destination ISA's aliased
+    text).  ``link`` seeds the link register on ISAs that have one.
+    """
+    regs: Dict[str, float] = {
+        reg.name: 0 for reg in dst_isa.regfile.all()
+    }
+    regs[dst_isa.regfile.sp] = sp
+    regs[dst_isa.regfile.fp] = fp
+    regs[dst_isa.regfile.pc] = pc
+    if dst_isa.cc.link_register:
+        regs[dst_isa.cc.link_register] = link
+    return regs

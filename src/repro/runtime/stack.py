@@ -1,0 +1,78 @@
+"""User stacks and activation frames.
+
+Each thread owns one stack region of the common address space.  The
+migration runtime "divides a thread's stack into two halves: when
+preparing for migration, the runtime rewrites from one half of the
+stack to the other, and switches stacks right before invoking the
+thread migration service" — :class:`UserStack` implements exactly that
+double-buffering.
+
+A :class:`Frame` is the engine's descriptor of one live activation; all
+*state* (locals, saved registers) lives in simulated memory and the
+thread register file, addressed through the frame's CFA.
+"""
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.compiler.codegen import MachineFunction
+
+
+@dataclass
+class Frame:
+    """One live function activation."""
+
+    mf: MachineFunction
+    cfa: int
+    # For suspended (caller) frames: position of the pending Call and
+    # its site id.  The innermost (running) frame has resume=None.
+    resume: Optional[Tuple[str, int]] = None
+    call_site_id: int = -1
+
+    @property
+    def function(self) -> str:
+        return self.mf.name
+
+    @property
+    def sp(self) -> int:
+        """Stack pointer while this frame executes."""
+        return self.cfa - self.mf.frame.frame_size
+
+    def __repr__(self) -> str:
+        return f"Frame({self.function}@{self.mf.isa.name}, cfa={self.cfa:#x})"
+
+
+class UserStack:
+    """A thread's stack region, split into two transformation halves."""
+
+    def __init__(self, low: int, high: int):
+        if high <= low:
+            raise ValueError("empty stack region")
+        self.low = low
+        self.high = high
+        self.mid = low + (high - low) // 2
+        self.half = 0  # 0: top half [mid, high); 1: bottom half [low, mid)
+
+    @property
+    def top(self) -> int:
+        """The CFA of the outermost frame in the active half."""
+        return self.high if self.half == 0 else self.mid
+
+    @property
+    def other_top(self) -> int:
+        return self.mid if self.half == 0 else self.high
+
+    def switch_halves(self) -> None:
+        """Adopt the other half (called right before migration)."""
+        self.half ^= 1
+
+    def contains(self, addr: int) -> bool:
+        return self.low <= addr < self.high
+
+    def active_bounds(self) -> Tuple[int, int]:
+        if self.half == 0:
+            return (self.mid, self.high)
+        return (self.low, self.mid)
+
+    def __repr__(self) -> str:
+        return f"UserStack([{self.low:#x},{self.high:#x}), half={self.half})"

@@ -1,0 +1,20 @@
+"""Deterministic simulation core: clock, event queue, RNG, tracing.
+
+Everything in :mod:`repro` that advances simulated time does so through
+this package, so that experiments are fully reproducible run-to-run.
+"""
+
+from repro.sim.clock import Clock
+from repro.sim.events import Event, EventQueue, Simulator
+from repro.sim.rng import DeterministicRng
+from repro.sim.trace import Sampler, TimeSeries
+
+__all__ = [
+    "Clock",
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "DeterministicRng",
+    "Sampler",
+    "TimeSeries",
+]

@@ -1,0 +1,35 @@
+"""Simulated wall-clock time.
+
+Time is kept in seconds as a float.  A :class:`Clock` only moves forward;
+attempts to move it backwards raise, which catches event-ordering bugs
+early instead of silently corrupting power integrals.
+"""
+
+
+class Clock:
+    """A monotonically non-decreasing simulated clock."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock to absolute time ``t`` (seconds)."""
+        if t < self._now:
+            raise ValueError(
+                f"clock cannot move backwards: now={self._now!r}, target={t!r}"
+            )
+        self._now = t
+
+    def advance_by(self, dt: float) -> None:
+        """Move the clock forward by ``dt`` seconds."""
+        if dt < 0:
+            raise ValueError(f"negative time delta: {dt!r}")
+        self._now += dt
+
+    def __repr__(self) -> str:
+        return f"Clock(now={self._now:.9f})"

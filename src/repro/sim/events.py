@@ -1,0 +1,115 @@
+"""Discrete-event engine.
+
+The datacenter-level experiments (Figures 12 and 13) and the kernel
+messaging layer are discrete-event simulations.  Events are ordered by
+(time, sequence-number) so simultaneous events fire in submission order,
+which keeps runs deterministic.
+"""
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.sim.clock import Clock
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, seq)``; the payload is excluded from the
+    ordering so arbitrary callables can be scheduled.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], Any] = field(compare=False)
+    name: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` objects."""
+
+    def __init__(self):
+        self._heap: list[Event] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def push(self, time: float, action: Callable[[], Any], name: str = "") -> Event:
+        event = Event(time=time, seq=self._seq, action=action, name=name)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Return the earliest live event, or None if the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+
+class Simulator:
+    """Drives a :class:`Clock` through an :class:`EventQueue`.
+
+    >>> sim = Simulator()
+    >>> hits = []
+    >>> _ = sim.at(1.5, lambda: hits.append(sim.now))
+    >>> sim.run()
+    >>> hits
+    [1.5]
+    """
+
+    def __init__(self, clock: Optional[Clock] = None):
+        self.clock = clock if clock is not None else Clock()
+        self.queue = EventQueue()
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def at(self, time: float, action: Callable[[], Any], name: str = "") -> Event:
+        """Schedule ``action`` at absolute time ``time``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        return self.queue.push(time, action, name)
+
+    def after(self, delay: float, action: Callable[[], Any], name: str = "") -> Event:
+        """Schedule ``action`` ``delay`` seconds from now."""
+        return self.at(self.now + delay, action, name)
+
+    def step(self) -> bool:
+        """Run the next event.  Returns False when the queue is empty."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        self.clock.advance_to(event.time)
+        event.action()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> None:
+        """Run events until the queue drains or ``until`` is reached."""
+        for _ in range(max_events):
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                return
+            if until is not None and next_time > until:
+                self.clock.advance_to(until)
+                return
+            self.step()
+        raise RuntimeError(f"simulation exceeded {max_events} events")

@@ -1,0 +1,104 @@
+"""Time-series recording.
+
+The paper samples power and CPU load at 100 Hz ("in order to have
+readings at high resolution").  :class:`Sampler` replicates that: it is
+driven from the simulation and records a value stream that can later be
+integrated (energy) or rendered (Figure 11 traces).
+"""
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Callable, List, Tuple
+
+
+@dataclass
+class TimeSeries:
+    """A sequence of (time, value) samples, times non-decreasing."""
+
+    name: str
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def append(self, t: float, v: float) -> None:
+        if self.times and t < self.times[-1]:
+            raise ValueError(f"non-monotonic sample at t={t} in {self.name}")
+        self.times.append(t)
+        self.values.append(v)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def value_at(self, t: float) -> float:
+        """Step-interpolated value at time ``t`` (0.0 before first sample)."""
+        i = bisect.bisect_right(self.times, t) - 1
+        if i < 0:
+            return 0.0
+        return self.values[i]
+
+    def integrate(self, t0: float = None, t1: float = None) -> float:
+        """Trapezoidal integral of the series over [t0, t1].
+
+        With power samples in watts this yields energy in joules.
+        """
+        if not self.times:
+            return 0.0
+        t0 = self.times[0] if t0 is None else t0
+        t1 = self.times[-1] if t1 is None else t1
+        if t1 <= t0:
+            return 0.0
+        total = 0.0
+        for i in range(len(self.times) - 1):
+            a, b = self.times[i], self.times[i + 1]
+            lo, hi = max(a, t0), min(b, t1)
+            if hi <= lo:
+                continue
+            # Linear interpolation of values at the clipped edges.
+            va, vb = self.values[i], self.values[i + 1]
+            span = b - a
+            v_lo = va if span == 0 else va + (vb - va) * (lo - a) / span
+            v_hi = vb if span == 0 else va + (vb - va) * (hi - a) / span
+            total += 0.5 * (v_lo + v_hi) * (hi - lo)
+        return total
+
+    def mean(self) -> float:
+        if not self.values:
+            return 0.0
+        span = self.times[-1] - self.times[0]
+        if span <= 0:
+            return self.values[-1]
+        return self.integrate() / span
+
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+
+class Sampler:
+    """Samples callables at a fixed rate into :class:`TimeSeries` objects.
+
+    The experiment driver calls :meth:`sample_until` as simulated time
+    advances; the sampler back-fills every 1/rate tick it has not yet
+    recorded, reading each probe at the tick.
+    """
+
+    def __init__(self, rate_hz: float = 100.0):
+        if rate_hz <= 0:
+            raise ValueError("sample rate must be positive")
+        self.period = 1.0 / rate_hz
+        self._probes: List[Tuple[TimeSeries, Callable[[], float]]] = []
+        self._next_tick = 0.0
+
+    def add_probe(self, name: str, fn: Callable[[], float]) -> TimeSeries:
+        series = TimeSeries(name)
+        self._probes.append((series, fn))
+        return series
+
+    def sample_until(self, t: float) -> None:
+        """Record all ticks in [next_tick, t]."""
+        while self._next_tick <= t:
+            for series, fn in self._probes:
+                series.append(self._next_tick, float(fn()))
+            self._next_tick += self.period
+
+    @property
+    def series(self) -> List[TimeSeries]:
+        return [s for s, _ in self._probes]

@@ -1,0 +1,10 @@
+"""Power/load telemetry (Section 6, "Power measurements").
+
+Wires the machines' power sensors and load counters into 100 Hz
+:class:`~repro.sim.trace.TimeSeries` streams — the data behind
+Figure 11's traces and every energy integral in Figures 12-13.
+"""
+
+from repro.telemetry.recorder import MachineTraces, PowerRecorder
+
+__all__ = ["PowerRecorder", "MachineTraces"]

@@ -1,0 +1,63 @@
+"""Golden checksums — a regression net over the entire stack.
+
+Every workload's real computation produces a checksum that depends on
+the IR semantics, the compiler lowering, the execution engine, the
+threading/synchronisation machinery, and (because the suite also runs
+them under migration) the full migration path.  These values were
+computed once at ``scale=0.02`` on the x86 server and must never
+change: any drift means a semantic change somewhere in the stack.
+
+Checksums are thread-count dependent for EP (per-thread random
+streams) and Verus (workload split changes which states each walker
+visits first — the *union* count varies with the partition, not with
+scheduling), and identical across thread counts everywhere else.
+They are identical across ISAs and across migrations by construction —
+that is the paper's core property, enforced separately in
+``tests/test_workloads.py``.
+"""
+
+from typing import Dict
+
+GOLDEN_SCALE = 0.02
+GOLDEN_CLASS = "A"
+
+# (benchmark, threads) -> checksum at GOLDEN_SCALE / GOLDEN_CLASS.
+GOLDEN_CHECKSUMS: Dict[str, int] = {
+    "bt.A.t1": 123255,
+    "bt.A.t2": 123255,
+    "bt.A.t4": 123255,
+    "bzip2smp.A.t1": 54102741735033,
+    "bzip2smp.A.t2": 54102741735033,
+    "bzip2smp.A.t4": 54102741735033,
+    "cg.A.t1": 0,  # CG converges below the 1e-6 fixed-point quantum
+    "cg.A.t2": 0,
+    "cg.A.t4": 0,
+    "ep.A.t1": 22766,
+    "ep.A.t2": 23360,
+    "ep.A.t4": 23225,
+    "ft.A.t1": 95520563,
+    "ft.A.t2": 95520563,
+    "ft.A.t4": 95520563,
+    "is.A.t1": 715827200,
+    "is.A.t2": 715827200,
+    "is.A.t4": 715827200,
+    "lu.A.t1": 107896,
+    "lu.A.t2": 107896,
+    "lu.A.t4": 107896,
+    "mg.A.t1": 8102,
+    "mg.A.t2": 8102,
+    "mg.A.t4": 8102,
+    "redis.A.t1": 32202,
+    "redis.A.t2": 32202,
+    "redis.A.t4": 32202,
+    "sp.A.t1": 105455,
+    "sp.A.t2": 105455,
+    "sp.A.t4": 105455,
+    "verus.A.t1": 3000,
+    "verus.A.t2": 2005,
+    "verus.A.t4": 2149,
+}
+
+
+def golden_key(bench: str, threads: int) -> str:
+    return f"{bench}.{GOLDEN_CLASS}.t{threads}"

@@ -1,0 +1,63 @@
+"""CLI tests (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "is"])
+        assert args.cls == "A" and args.threads == 2
+        assert args.migrate_at is None
+
+    def test_bad_class_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "is", "--cls", "Z"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("is", "cg", "redis"):
+            assert name in out
+
+    def test_run_with_migration(self, capsys):
+        rc = main(
+            ["run", "ep", "--cls", "A", "--threads", "1",
+             "--scale", "0.002", "--migrate-at", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "exit code" in out
+        assert "->" in out  # a migration happened
+
+    def test_run_unknown_workload(self, capsys):
+        assert main(["run", "linpack"]) == 2
+
+    def test_layout(self, capsys):
+        assert main(["layout", "is", "--cls", "A"]) == 0
+        out = capsys.readouterr().out
+        assert "0x40" in out
+        assert "migration points" in out
+
+    def test_layout_script(self, capsys):
+        assert main(["layout", "is", "--script"]) == 0
+        assert "SECTIONS" in capsys.readouterr().out
+
+    def test_gaps(self, capsys):
+        assert main(["gaps", "is", "--cls", "A", "--scale", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "pre-insertion" in out and "post-insertion" in out
+
+    def test_schedule_sustained(self, capsys):
+        assert main(["schedule", "--pattern", "sustained", "--sets", "1",
+                     "--jobs", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "static-x86(2)" in out
+        assert "dynamic-balanced" in out

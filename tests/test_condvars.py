@@ -1,0 +1,193 @@
+"""Tests for condition variables: a bounded producer/consumer queue
+spanning threads (and machines, under migration)."""
+
+import pytest
+
+from repro.compiler import Toolchain
+from repro.ir import FunctionBuilder, GlobalVar, Module
+from repro.isa.types import ValueType as VT
+from repro.kernel import boot_testbed
+from repro.kernel.syscall import SyscallError
+from repro.runtime.execution import ExecutionEngine
+
+from tests.helpers import X86, run_to_completion
+
+MUTEX = 1
+NOT_EMPTY = 2
+NOT_FULL = 3
+CAPACITY = 4
+
+
+def _queue_module(items: int, consumers: int = 1) -> Module:
+    """A classic bounded queue: one producer, N consumers, cond vars.
+
+    Globals: g_buf[CAPACITY] ring, g_head/g_tail/g_count, g_sum (what
+    consumers saw), g_done (producer finished flag).
+    """
+    m = Module(f"pc{items}x{consumers}")
+    m.add_global(GlobalVar("g_buf", VT.I64, count=CAPACITY))
+    for name in ("g_head", "g_tail", "g_count", "g_done", "g_sum"):
+        m.add_global(GlobalVar(name, VT.I64))
+
+    def field_addr(fb, name):
+        return fb.addr_of(name)
+
+    producer = m.function("producer", [("idx", VT.I64)], VT.I64)
+    fb = FunctionBuilder(producer)
+    with fb.for_range("i", 0, items) as i:
+        fb.syscall("mutex_lock", [MUTEX], VT.I64)
+        count_addr = field_addr(fb, "g_count")
+        with fb.while_loop(
+            lambda: fb.binop("ge", fb.load(field_addr(fb, "g_count"), 0, VT.I64),
+                             CAPACITY, VT.I64)
+        ):
+            fb.syscall("cond_wait", [NOT_FULL, MUTEX], VT.I64)
+        tail_addr = field_addr(fb, "g_tail")
+        tail = fb.load(tail_addr, 0, VT.I64)
+        slot = fb.binop("mod", tail, CAPACITY, VT.I64)
+        buf = field_addr(fb, "g_buf")
+        fb.store(fb.binop("add", buf, fb.binop("mul", slot, 8, VT.I64), VT.I64),
+                 0, fb.binop("add", i, 1, VT.I64), VT.I64)
+        fb.store(tail_addr, 0, fb.binop("add", tail, 1, VT.I64), VT.I64)
+        count = fb.load(count_addr, 0, VT.I64)
+        fb.store(count_addr, 0, fb.binop("add", count, 1, VT.I64), VT.I64)
+        fb.syscall("cond_signal", [NOT_EMPTY], VT.I64)
+        fb.syscall("mutex_unlock", [MUTEX], VT.I64)
+    # Mark completion and wake every parked consumer.
+    fb.syscall("mutex_lock", [MUTEX], VT.I64)
+    fb.store(field_addr(fb, "g_done"), 0, 1, VT.I64)
+    fb.syscall("cond_broadcast", [NOT_EMPTY], VT.I64)
+    fb.syscall("mutex_unlock", [MUTEX], VT.I64)
+    fb.ret(0)
+
+    consumer = m.function("consumer", [("idx", VT.I64)], VT.I64)
+    fb = FunctionBuilder(consumer)
+    taken = fb.local("taken", VT.I64, init=0)
+    running = fb.local("running", VT.I64, init=1)
+    with fb.while_loop(lambda: fb.binop("eq", running, 1, VT.I64)):
+        fb.syscall("mutex_lock", [MUTEX], VT.I64)
+        with fb.while_loop(
+            lambda: fb.binop(
+                "and",
+                fb.binop("eq", fb.load(fb.addr_of("g_count"), 0, VT.I64), 0, VT.I64),
+                fb.binop("eq", fb.load(fb.addr_of("g_done"), 0, VT.I64), 0, VT.I64),
+                VT.I64,
+            )
+        ):
+            fb.syscall("cond_wait", [NOT_EMPTY, MUTEX], VT.I64)
+        count = fb.load(fb.addr_of("g_count"), 0, VT.I64)
+
+        def consume():
+            head_addr = fb.addr_of("g_head")
+            head = fb.load(head_addr, 0, VT.I64)
+            slot = fb.binop("mod", head, CAPACITY, VT.I64)
+            buf = fb.addr_of("g_buf")
+            value = fb.load(
+                fb.binop("add", buf, fb.binop("mul", slot, 8, VT.I64), VT.I64),
+                0, VT.I64,
+            )
+            fb.store(head_addr, 0, fb.binop("add", head, 1, VT.I64), VT.I64)
+            fb.store(fb.addr_of("g_count"), 0,
+                     fb.binop("sub", count, 1, VT.I64), VT.I64)
+            sum_addr = fb.addr_of("g_sum")
+            fb.store(sum_addr, 0,
+                     fb.binop("add", fb.load(sum_addr, 0, VT.I64), value, VT.I64),
+                     VT.I64)
+            fb.binop_into(taken, "add", taken, 1, VT.I64)
+            fb.syscall("cond_signal", [NOT_FULL], VT.I64)
+
+        def drained():
+            fb.assign(running, 0)
+
+        fb.if_then_else(fb.binop("gt", count, 0, VT.I64), consume, drained)
+        fb.syscall("mutex_unlock", [MUTEX], VT.I64)
+    fb.ret(taken)
+
+    main = m.function("main", [], VT.I64)
+    fb = FunctionBuilder(main)
+    fb.syscall("mutex_init", [MUTEX])
+    fb.syscall("cond_init", [NOT_EMPTY])
+    fb.syscall("cond_init", [NOT_FULL])
+    ptid = fb.syscall("spawn", [fb.addr_of("producer"), 0], VT.I64)
+    ctids = fb.stack_alloc(8 * consumers, "ctids")
+    with fb.for_range("c", 0, consumers) as c:
+        t = fb.syscall("spawn", [fb.addr_of("consumer"), c], VT.I64)
+        fb.store(fb.binop("add", ctids, fb.binop("mul", c, 8, VT.I64), VT.I64),
+                 0, t, VT.I64)
+    fb.syscall("join", [ptid], VT.I64)
+    with fb.for_range("j", 0, consumers) as j:
+        t = fb.load(fb.binop("add", ctids, fb.binop("mul", j, 8, VT.I64), VT.I64),
+                    0, VT.I64)
+        fb.syscall("join", [t], VT.I64)
+    fb.syscall("print", [fb.load(fb.addr_of("g_sum"), 0, VT.I64)])
+    fb.ret(0)
+    m.entry = "main"
+    return m
+
+
+class TestProducerConsumer:
+    @pytest.mark.parametrize("items", [5, 12])
+    @pytest.mark.parametrize("batch", [5, 64])
+    def test_all_items_consumed_once(self, items, batch):
+        out, code, _ = run_to_completion(_queue_module(items), batch=batch)
+        assert code == 0
+        assert out == [items * (items + 1) // 2]
+
+    @pytest.mark.parametrize("consumers", [2, 3])
+    def test_multiple_consumers(self, consumers):
+        items = 12
+        out, code, _ = run_to_completion(
+            _queue_module(items, consumers), batch=9
+        )
+        assert code == 0
+        assert out == [items * (items + 1) // 2]
+
+    def test_queue_survives_migration(self):
+        items = 10
+        expected = [items * (items + 1) // 2]
+        out, code, _ = run_to_completion(
+            _queue_module(items, 2), migrate_at=6, batch=9
+        )
+        assert code == 0
+        assert out == expected
+
+
+class TestCondErrors:
+    def _run_main(self, emit):
+        m = Module("ce")
+        fb = FunctionBuilder(m.function("main", [], VT.I64))
+        emit(fb)
+        fb.ret(0)
+        m.entry = "main"
+        binary = Toolchain().build(m)
+        system = boot_testbed()
+        process = system.exec_process(binary, X86)
+        ExecutionEngine(system, process).run()
+        return process
+
+    def test_wait_without_init(self):
+        def emit(fb):
+            fb.syscall("mutex_init", [1])
+            fb.syscall("mutex_lock", [1], VT.I64)
+            fb.syscall("cond_wait", [9, 1], VT.I64)
+
+        with pytest.raises(SyscallError, match="uninitialised condvar"):
+            self._run_main(emit)
+
+    def test_wait_without_holding_mutex(self):
+        def emit(fb):
+            fb.syscall("mutex_init", [1])
+            fb.syscall("cond_init", [2])
+            fb.syscall("cond_wait", [2, 1], VT.I64)
+
+        with pytest.raises(SyscallError, match="not held"):
+            self._run_main(emit)
+
+    def test_signal_with_no_waiters_is_noop(self):
+        def emit(fb):
+            fb.syscall("cond_init", [2])
+            r = fb.syscall("cond_signal", [2], VT.I64)
+            fb.syscall("print", [r])
+
+        process = self._run_main(emit)
+        assert process.output == [0]

@@ -1,0 +1,106 @@
+"""Emulation (QEMU/DBT) baseline tests — the Figure 1 mechanism."""
+
+import pytest
+
+from repro.compiler import Toolchain
+from repro.emulation import (
+    TranslationCache,
+    emulation_warmup_seconds,
+    expansion_profile,
+    make_emulated_machine,
+)
+from repro.isa.isa import InstrClass
+from repro.kernel import PopcornSystem
+from repro.machine import make_xeon_e5_1650v2, make_xgene1
+from repro.runtime.execution import ExecutionEngine
+from repro.workloads import build_workload
+
+
+def run_on(machine, module, threads_note=""):
+    system = PopcornSystem([machine])
+    binary = Toolchain().build(module)
+    process = system.exec_process(binary, machine.name)
+    ExecutionEngine(system, process).run()
+    assert process.exit_code == 0
+    return system.clock.now
+
+
+class TestProfiles:
+    def test_directions_exist(self):
+        assert expansion_profile("arm64", "x86_64").guest == "arm64"
+        assert expansion_profile("x86_64", "arm64").guest == "x86_64"
+
+    def test_unknown_direction(self):
+        with pytest.raises(KeyError):
+            expansion_profile("arm64", "arm64")
+
+    def test_x86_on_arm_worse_than_arm_on_x86(self):
+        a_on_x = expansion_profile("arm64", "x86_64")
+        x_on_a = expansion_profile("x86_64", "arm64")
+        for cls in (InstrClass.INT_ALU, InstrClass.FP_ALU, InstrClass.LOAD):
+            assert x_on_a.factor(cls) > a_on_x.factor(cls)
+
+    def test_fp_is_the_catastrophic_class(self):
+        profile = expansion_profile("x86_64", "arm64")
+        assert profile.factor(InstrClass.FP_ALU) > profile.factor(InstrClass.INT_ALU)
+
+
+class TestTranslationCache:
+    def test_first_execution_pays(self):
+        cache = TranslationCache(expansion_profile("arm64", "x86_64"))
+        assert cache.execute_block("b1", 100) > 0
+        assert cache.execute_block("b1", 100) == 0.0
+        assert cache.translations == 1
+        assert cache.hits == 1
+
+    def test_capacity_flush(self):
+        cache = TranslationCache(expansion_profile("arm64", "x86_64"), capacity_blocks=2)
+        cache.execute_block("a", 10)
+        cache.execute_block("b", 10)
+        cache.execute_block("c", 10)  # flushes
+        assert cache.execute_block("a", 10) > 0  # retranslated
+
+
+class TestEmulatedMachines:
+    def test_emulated_machine_runs_guest_isa(self):
+        host = make_xeon_e5_1650v2("host")
+        emul = make_emulated_machine(host, "arm64")
+        assert emul.isa.name == "arm64"
+        assert emul.cpu.cores == 1  # TCG serialisation
+
+    def test_serial_guest_slowdown_in_figure1_envelope(self):
+        module = build_workload("is", "A", threads=1, scale=0.01)
+        native = run_on(make_xgene1("arm-native"), module)
+        module2 = build_workload("is", "A", threads=1, scale=0.01)
+        emul = run_on(
+            make_emulated_machine(make_xeon_e5_1650v2("host"), "arm64"), module2
+        )
+        slowdown = emul / native
+        assert 1.0 < slowdown < 100.0  # Figure 1, top graph envelope
+
+    def test_reverse_direction_much_worse(self):
+        module = build_workload("ft", "A", threads=1, scale=0.01)
+        native = run_on(make_xeon_e5_1650v2("x86-native"), module)
+        module2 = build_workload("ft", "A", threads=1, scale=0.01)
+        emul = run_on(
+            make_emulated_machine(make_xgene1("arm-host"), "x86_64"), module2
+        )
+        slowdown = emul / native
+        assert slowdown > 50.0  # Figure 1, bottom graph: 10-10000x
+
+    def test_threads_make_emulation_relatively_worse(self):
+        # Native scales with threads; single-core TCG does not.
+        m1 = build_workload("ep", "A", threads=1, scale=0.01)
+        m4 = build_workload("ep", "A", threads=4, scale=0.01)
+        native_1 = run_on(make_xgene1("n1"), m1)
+        native_4 = run_on(make_xgene1("n4"), m4)
+        e1 = run_on(make_emulated_machine(make_xeon_e5_1650v2("h1"), "arm64"),
+                    build_workload("ep", "A", threads=1, scale=0.01))
+        e4 = run_on(make_emulated_machine(make_xeon_e5_1650v2("h4"), "arm64"),
+                    build_workload("ep", "A", threads=4, scale=0.01))
+        assert (e4 / native_4) > (e1 / native_1)
+
+    def test_warmup_cost_positive_and_small(self):
+        host = make_xeon_e5_1650v2("h")
+        t = emulation_warmup_seconds(host, "arm64", 64 * 1024)
+        assert 0 < t < 1.0

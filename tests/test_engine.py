@@ -1,0 +1,260 @@
+"""Behavioural tests of the execution engine: arithmetic, control flow,
+memory, syscalls, threads, timing."""
+
+import pytest
+
+from repro.compiler import Toolchain
+from repro.ir import FunctionBuilder, GlobalVar, Module
+from repro.isa.types import ValueType as VT
+from repro.kernel import boot_testbed
+from repro.runtime.execution import ExecutionEngine, ExecutionError
+
+from tests.helpers import (
+    ARM,
+    X86,
+    run_to_completion,
+    simple_sum_module,
+    stack_pointer_module,
+    tls_module,
+)
+
+
+def _run_expr(emit, ret_vt=VT.I64, start=X86):
+    """Build main() that prints emit(fb)'s result; return the output."""
+    m = Module("expr")
+    fb = FunctionBuilder(m.function("main", [], VT.I64))
+    result = emit(fb)
+    fb.syscall("print", [result])
+    fb.ret(0)
+    out, code, _ = run_to_completion(m, start)
+    assert code == 0
+    return out[0]
+
+
+class TestArithmetic:
+    def test_int_ops(self):
+        assert _run_expr(lambda fb: fb.binop("add", 2, 3, VT.I64)) == 5
+        assert _run_expr(lambda fb: fb.binop("mul", -4, 3, VT.I64)) == -12
+        assert _run_expr(lambda fb: fb.binop("shl", 1, 10, VT.I64)) == 1024
+
+    def test_c_style_division(self):
+        assert _run_expr(lambda fb: fb.binop("div", -7, 2, VT.I64)) == -3
+        assert _run_expr(lambda fb: fb.binop("mod", -7, 2, VT.I64)) == -1
+        assert _run_expr(lambda fb: fb.binop("div", 7, 2, VT.I64)) == 3
+
+    def test_comparisons(self):
+        assert _run_expr(lambda fb: fb.binop("lt", 1, 2, VT.I64)) == 1
+        assert _run_expr(lambda fb: fb.binop("ge", 1, 2, VT.I64)) == 0
+
+    def test_float_math(self):
+        def emit(fb):
+            x = fb.binop("div", 1.0, 4.0, VT.F64)
+            return fb.unop("f2i", fb.binop("mul", x, 100.0, VT.F64), VT.I64)
+
+        assert _run_expr(emit) == 25
+
+    def test_sqrt(self):
+        def emit(fb):
+            return fb.unop("f2i", fb.unop("sqrt", 144.0, VT.F64), VT.I64)
+
+        assert _run_expr(emit) == 12
+
+    def test_min_max(self):
+        assert _run_expr(lambda fb: fb.binop("min", 4, 9, VT.I64)) == 4
+        assert _run_expr(lambda fb: fb.binop("max", 4, 9, VT.I64)) == 9
+
+
+class TestControlAndCalls:
+    def test_loop_sum(self):
+        out, code, _ = run_to_completion(simple_sum_module(10))
+        # Reference: cell starts at 7 and gains i each round; acc sums
+        # the evolving cell starting from 1.
+        cell, acc = 7, 1
+        for i in range(10):
+            cell += i
+            acc += cell
+        assert out[0] == acc
+        assert code == acc
+
+    def test_recursive_style_chain(self):
+        from tests.helpers import call_chain_module
+
+        out, code, _ = run_to_completion(call_chain_module(4, work_per_level=1000))
+        # f3(8)=8*6+11=59; f2(7)=7*5+59=94; f1(6)=6*4+94=118; f0(5)=5*3+118=133
+        assert out[0] == 133
+
+    def test_results_identical_on_both_isas(self):
+        for module_fn in (simple_sum_module, stack_pointer_module):
+            a, _, _ = run_to_completion(module_fn(), start=X86)
+            b, _, _ = run_to_completion(module_fn(), start=ARM)
+            assert a == b
+
+    def test_arm_slower_than_x86(self):
+        m = simple_sum_module(50)
+        _, _, sys_x86 = run_to_completion(m, start=X86)
+        m2 = simple_sum_module(50)
+        _, _, sys_arm = run_to_completion(m2, start=ARM)
+        tx = sys_x86.clock.now
+        ta = sys_arm.clock.now
+        assert ta > 2.5 * tx
+
+
+class TestMemoryAndSymbols:
+    def test_stack_buffer_round_trip(self):
+        out, code, _ = run_to_completion(stack_pointer_module())
+        assert out[0] == sum(i * 3 for i in range(8))
+
+    def test_globals_shared_between_calls(self):
+        m = Module("g")
+        m.add_global(GlobalVar("counter", VT.I64, init=[5]))
+        f = m.function("bump", [], VT.I64)
+        fb = FunctionBuilder(f)
+        addr = fb.addr_of("counter")
+        v = fb.load(addr, 0, VT.I64)
+        fb.store(addr, 0, fb.binop("add", v, 1, VT.I64), VT.I64)
+        fb.ret(v)
+        main = m.function("main", [], VT.I64)
+        fb = FunctionBuilder(main)
+        fb.call("bump", [], VT.I64)
+        fb.call("bump", [], VT.I64)
+        r = fb.call("bump", [], VT.I64)
+        fb.syscall("print", [r])
+        fb.ret(0)
+        m.entry = "main"
+        out, _, _ = run_to_completion(m)
+        assert out[0] == 7
+
+    def test_heap_alloc_via_sbrk(self):
+        m = Module("h")
+        fb = FunctionBuilder(m.function("main", [], VT.I64))
+        base = fb.syscall("sbrk", [4096], VT.I64)
+        fb.store(base, 0, 77, VT.I64)
+        fb.store(base, 4088, 88, VT.I64)
+        total = fb.binop(
+            "add", fb.load(base, 0, VT.I64), fb.load(base, 4088, VT.I64), VT.I64
+        )
+        fb.syscall("print", [total])
+        fb.ret(0)
+        out, _, _ = run_to_completion(m)
+        assert out[0] == 165
+
+    def test_tls_per_thread(self):
+        out, code, _ = run_to_completion(tls_module())
+        # Both threads start at 100 and bump 5 times independently.
+        assert out == [105, 105]
+
+
+class TestThreadsAndSyscalls:
+    def test_spawn_join_returns_value(self):
+        m = Module("sj")
+        w = m.function("double_it", [("x", VT.I64)], VT.I64)
+        FunctionBuilder(w).ret(None)
+        # rebuild worker with real body
+        m = Module("sj")
+        w = m.function("double_it", [("x", VT.I64)], VT.I64)
+        fb = FunctionBuilder(w)
+        fb.ret(fb.binop("mul", "x", 2, VT.I64))
+        main = m.function("main", [], VT.I64)
+        fb = FunctionBuilder(main)
+        tid = fb.syscall("spawn", [fb.addr_of("double_it"), 21], VT.I64)
+        r = fb.syscall("join", [tid], VT.I64)
+        fb.syscall("print", [r])
+        fb.ret(0)
+        m.entry = "main"
+        out, _, _ = run_to_completion(m)
+        assert out[0] == 42
+
+    def test_barrier_synchronises(self):
+        out, code, _ = run_to_completion(tls_module())
+        assert code == 210  # 105 + 105 from main's return
+
+    def test_exit_code(self):
+        m = Module("e")
+        fb = FunctionBuilder(m.function("main", [], VT.I64))
+        fb.syscall("exit", [3])
+        fb.ret(0)
+        _, code, _ = run_to_completion(m)
+        assert code == 3
+
+    def test_gettid_getcpu(self):
+        m = Module("ids")
+        fb = FunctionBuilder(m.function("main", [], VT.I64))
+        fb.syscall("print", [fb.syscall("gettid", [], VT.I64)])
+        fb.syscall("print", [fb.syscall("getcpu", [], VT.I64)])
+        fb.ret(0)
+        out, _, system = run_to_completion(m, start=X86)
+        assert out[0] >= 1
+        assert out[1] == system.machine_order.index(X86)
+
+    def test_vfs_write_read(self):
+        m = Module("vfs")
+        fb = FunctionBuilder(m.function("main", [], VT.I64))
+        buf = fb.syscall("sbrk", [64], VT.I64)
+        fb.store(buf, 0, 11, VT.I64)
+        fb.store(buf, 8, 22, VT.I64)
+        fd = fb.syscall("open", [1], VT.I64)
+        fb.syscall("write", [fd, buf, 2], VT.I64)
+        fb.syscall("close", [fd], VT.I64)
+        fd2 = fb.syscall("open", [1], VT.I64)
+        out = fb.syscall("sbrk", [64], VT.I64)
+        n = fb.syscall("read", [fd2, out, 2], VT.I64)
+        fb.syscall("print", [n])
+        fb.syscall("print", [fb.load(out, 8, VT.I64)])
+        fb.ret(0)
+        result, _, _ = run_to_completion(m)
+        assert result == [2, 22]
+
+    def test_deadlock_detected(self):
+        m = Module("dl")
+        fb = FunctionBuilder(m.function("main", [], VT.I64))
+        fb.syscall("barrier_init", [1, 2])
+        fb.syscall("barrier_wait", [1], VT.I64)  # nobody else ever arrives
+        fb.ret(0)
+        binary = Toolchain().build(m)
+        system = boot_testbed()
+        process = system.exec_process(binary, X86)
+        with pytest.raises(ExecutionError, match="deadlock"):
+            ExecutionEngine(system, process).run()
+
+
+class TestAccounting:
+    def test_instructions_counted(self):
+        m = simple_sum_module(5)
+        binary = Toolchain().build(m)
+        system = boot_testbed()
+        process = system.exec_process(binary, X86)
+        ExecutionEngine(system, process).run()
+        machine = system.machines[X86]
+        assert machine.instructions_retired > 0
+        thread = process.threads[min(process.threads)]
+        assert thread.instructions > 0
+        assert thread.vtime > 0
+
+    def test_oversubscription_stretches_time(self):
+        def build(threads):
+            m = Module(f"ov{threads}")
+            w = m.function("burn", [("x", VT.I64)], VT.I64)
+            fb = FunctionBuilder(w)
+            fb.work(40_000_000, "int_alu")
+            fb.ret(0)
+            main = m.function("main", [], VT.I64)
+            fb = FunctionBuilder(main)
+            waddr = fb.addr_of("burn")
+            tids = fb.stack_alloc(8 * threads, "tids")
+            with fb.for_range("i", 0, threads) as i:
+                t = fb.syscall("spawn", [waddr, i], VT.I64)
+                fb.store(fb.binop("add", tids, fb.binop("mul", i, 8, VT.I64), VT.I64), 0, t, VT.I64)
+            with fb.for_range("j", 0, threads) as j:
+                t = fb.load(fb.binop("add", tids, fb.binop("mul", j, 8, VT.I64), VT.I64), 0, VT.I64)
+                fb.syscall("join", [t], VT.I64)
+            fb.ret(0)
+            m.entry = "main"
+            return m
+
+        def span(threads):
+            _, _, system = run_to_completion(build(threads))
+            return system.clock.now
+
+        t6 = span(6)  # fits the Xeon's 6 cores
+        t12 = span(12)  # 2x oversubscribed
+        assert t12 > 1.5 * t6

@@ -1,0 +1,45 @@
+"""Golden-checksum regression net.
+
+If any of these values drift, something changed the observable
+semantics of the IR, the compiler, the engine, the threading machinery
+or a workload — investigate before updating the table
+(`repro.workloads.golden`).
+"""
+
+import pytest
+
+from repro.workloads import build_workload, workload_names
+from repro.workloads.golden import (
+    GOLDEN_CHECKSUMS,
+    GOLDEN_CLASS,
+    GOLDEN_SCALE,
+    golden_key,
+)
+
+from tests.helpers import run_to_completion
+
+
+def _checksum(bench: str, threads: int) -> int:
+    module = build_workload(bench, GOLDEN_CLASS, threads, GOLDEN_SCALE)
+    out, code, _ = run_to_completion(module)
+    assert code == 0, f"{bench} t{threads} failed verification"
+    return int(out[0])
+
+
+class TestGoldenTable:
+    def test_table_covers_every_workload(self):
+        benches = {key.split(".")[0] for key in GOLDEN_CHECKSUMS}
+        assert benches == set(workload_names())
+
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    @pytest.mark.parametrize("bench", sorted(workload_names()))
+    def test_checksum_matches_golden(self, bench, threads):
+        expected = GOLDEN_CHECKSUMS[golden_key(bench, threads)]
+        assert _checksum(bench, threads) == expected
+
+    def test_golden_survives_migration(self):
+        """Spot check: the golden value also holds under migration."""
+        module = build_workload("ft", GOLDEN_CLASS, 2, GOLDEN_SCALE)
+        out, code, _ = run_to_completion(module, migrate_at=3)
+        assert code == 0
+        assert int(out[0]) == GOLDEN_CHECKSUMS[golden_key("ft", 2)]

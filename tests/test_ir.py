@@ -1,0 +1,248 @@
+"""Unit tests for the IR: builder, validation, analyses."""
+
+import pytest
+
+from repro.ir import (
+    BinOp,
+    Br,
+    Call,
+    FunctionBuilder,
+    GlobalVar,
+    MigPoint,
+    Module,
+    Ret,
+    Syscall,
+    ValidationError,
+    validate_module,
+)
+from repro.ir.analysis import call_graph, liveness, max_call_depth
+from repro.isa.types import ValueType as VT
+
+
+def tiny_module():
+    m = Module("tiny")
+    fb = FunctionBuilder(m.function("main", [], VT.I64))
+    fb.ret(0)
+    return m
+
+
+class TestBuilder:
+    def test_for_range_counts(self):
+        m = Module("m")
+        fb = FunctionBuilder(m.function("main", [], VT.I64))
+        acc = fb.local("acc", VT.I64, init=0)
+        with fb.for_range("i", 0, 5) as i:
+            fb.binop_into(acc, "add", acc, i, VT.I64)
+        fb.ret(acc)
+        validate_module(m)
+        labels = m.functions["main"].block_order
+        assert len(labels) == 4  # entry, header, body, exit
+
+    def test_if_then_else_blocks(self):
+        m = Module("m")
+        fb = FunctionBuilder(m.function("main", [], VT.I64))
+        c = fb.binop("lt", 1, 2, VT.I64)
+        fb.if_then_else(c, lambda: None, lambda: None)
+        fb.ret(0)
+        validate_module(m)
+
+    def test_temp_names_unique(self):
+        m = Module("m")
+        fb = FunctionBuilder(m.function("main", [], VT.I64))
+        t1 = fb.temp(VT.I64)
+        t2 = fb.temp(VT.I64)
+        assert t1 != t2
+        fb.ret(0)
+
+    def test_local_redeclare_same_type_ok(self):
+        m = Module("m")
+        fb = FunctionBuilder(m.function("main", [], VT.I64))
+        fb.local("x", VT.I64, init=1)
+        fb.local("x", VT.I64)
+        fb.ret(0)
+
+    def test_local_redeclare_other_type_fails(self):
+        m = Module("m")
+        fb = FunctionBuilder(m.function("main", [], VT.I64))
+        fb.local("x", VT.I64, init=1)
+        with pytest.raises(ValueError):
+            fb.local("x", VT.F64)
+
+    def test_addr_of_marks_address_taken(self):
+        m = Module("m")
+        fn = m.function("main", [], VT.I64)
+        fb = FunctionBuilder(fn)
+        fb.local("cell", VT.I64, init=0)
+        fb.addr_of("cell")
+        fb.ret(0)
+        assert "cell" in fn.address_taken
+
+    def test_stack_alloc_registers_buffer(self):
+        m = Module("m")
+        fn = m.function("main", [], VT.I64)
+        fb = FunctionBuilder(fn)
+        fb.stack_alloc(64, "buf")
+        fb.ret(0)
+        assert fn.stack_buffers == {"buf": 64}
+
+    def test_while_loop(self):
+        m = Module("m")
+        fb = FunctionBuilder(m.function("main", [], VT.I64))
+        i = fb.local("i", VT.I64, init=0)
+        with fb.while_loop(lambda: fb.binop("lt", i, 3, VT.I64)):
+            fb.binop_into(i, "add", i, 1, VT.I64)
+        fb.ret(i)
+        validate_module(m)
+
+
+class TestInstructions:
+    def test_unknown_binop_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp("d", "pow", "a", "b", VT.I64)
+
+    def test_unknown_syscall_rejected(self):
+        with pytest.raises(ValueError):
+            Syscall("d", "reboot", [])
+
+    def test_uses_and_defs(self):
+        op = BinOp("d", "add", "a", 3, VT.I64)
+        assert op.uses() == ["a"]
+        assert op.defs() == ["d"]
+
+    def test_terminators(self):
+        assert Ret(None).is_terminator
+        assert Br("x").is_terminator
+        assert not MigPoint().is_terminator
+
+
+class TestValidation:
+    def test_valid_module_passes(self):
+        validate_module(tiny_module())
+
+    def test_missing_entry(self):
+        m = Module("m")
+        fb = FunctionBuilder(m.function("helper", [], VT.I64))
+        fb.ret(0)
+        with pytest.raises(ValidationError, match="entry"):
+            validate_module(m)
+
+    def test_unterminated_block(self):
+        m = Module("m")
+        fn = m.function("main", [], VT.I64)
+        fn.block("entry")
+        with pytest.raises(ValidationError, match="not terminated"):
+            validate_module(m)
+
+    def test_branch_to_unknown_block(self):
+        m = Module("m")
+        fn = m.function("main", [], VT.I64)
+        fn.block("entry").append(Br("nowhere"))
+        with pytest.raises(ValidationError, match="unknown block"):
+            validate_module(m)
+
+    def test_call_to_unknown_function(self):
+        m = Module("m")
+        fn = m.function("main", [], VT.I64)
+        bb = fn.block("entry")
+        bb.append(Call("", "ghost", []))
+        bb.append(Ret(0))
+        with pytest.raises(ValidationError, match="unknown function"):
+            validate_module(m)
+
+    def test_use_of_undeclared_local(self):
+        m = Module("m")
+        fn = m.function("main", [], VT.I64)
+        bb = fn.block("entry")
+        bb.append(BinOp("out", "add", "ghost", 1, VT.I64))
+        bb.append(Ret(0))
+        fn.declare("out", VT.I64)
+        with pytest.raises(ValidationError, match="undeclared local ghost"):
+            validate_module(m)
+
+
+class TestAnalysis:
+    def _loop_fn(self):
+        m = Module("m")
+        fn = m.function("f", [("n", VT.I64)], VT.I64)
+        fb = FunctionBuilder(fn)
+        acc = fb.local("acc", VT.I64, init=0)
+        with fb.for_range("i", 0, "n") as i:
+            fb.binop_into(acc, "add", acc, i, VT.I64)
+        fb.ret(acc)
+        return m, fn
+
+    def test_loop_variable_live_in_header(self):
+        _, fn = self._loop_fn()
+        live = liveness(fn)
+        header = fn.block_order[1]
+        assert "i" in live.live_in[header]
+        assert "acc" in live.live_in[header]
+
+    def test_dead_after_return(self):
+        _, fn = self._loop_fn()
+        live = liveness(fn)
+        exit_block = fn.block_order[-1]
+        last = len(fn.blocks[exit_block].instrs) - 1
+        assert live.live_after[(exit_block, last)] == frozenset()
+
+    def test_live_across_calls(self):
+        m = Module("m")
+        callee = m.function("g", [], VT.I64)
+        FunctionBuilder(callee).ret(1)
+        fn = m.function("f", [], VT.I64)
+        fb = FunctionBuilder(fn)
+        keep = fb.local("keep", VT.I64, init=42)
+        dead = fb.local("dead", VT.I64, init=1)
+        fb.binop_into(dead, "add", dead, 1, VT.I64)
+        r = fb.call("g", [], VT.I64)
+        fb.ret(fb.binop("add", keep, r, VT.I64))
+        live = liveness(fn)
+        across = live.live_across_calls(fn)
+        assert "keep" in across
+        assert "dead" not in across
+
+    def test_address_taken_pinned_live(self):
+        m = Module("m")
+        callee = m.function("g", [], VT.I64)
+        FunctionBuilder(callee).ret(1)
+        fn = m.function("f", [], VT.I64)
+        fb = FunctionBuilder(fn)
+        fb.local("cell", VT.I64, init=5)
+        fb.addr_of("cell")
+        fb.call("g", [], VT.I64)
+        fb.ret(0)
+        across = liveness(fn).live_across_calls(fn)
+        assert "cell" in across
+
+    def test_call_graph(self):
+        m = Module("m")
+        g = m.function("g", [], VT.I64)
+        FunctionBuilder(g).ret(1)
+        f = m.function("f", [], VT.I64)
+        fb = FunctionBuilder(f)
+        fb.call("g", [], VT.I64)
+        fb.ret(0)
+        m.entry = "f"
+        graph = call_graph(m)
+        assert graph["f"] == {"g"}
+        assert graph["g"] == set()
+        assert max_call_depth(m) == 2
+
+
+class TestGlobals:
+    def test_sections(self):
+        assert GlobalVar("a", VT.I64, init=[1]).section == ".data"
+        assert GlobalVar("b", VT.I64).section == ".bss"
+        assert GlobalVar("c", VT.I64, const=True, init=[1]).section == ".rodata"
+        assert GlobalVar("d", VT.I64, thread_local=True, init=[1]).section == ".tdata"
+        assert GlobalVar("e", VT.I64, thread_local=True).section == ".tbss"
+
+    def test_size(self):
+        assert GlobalVar("a", VT.I64, count=10).size == 80
+        assert GlobalVar("a", VT.I32, count=3).size == 12
+
+    def test_duplicate_global_rejected(self):
+        m = Module("m")
+        m.add_global(GlobalVar("g", VT.I64))
+        with pytest.raises(ValueError):
+            m.add_global(GlobalVar("g", VT.I64))

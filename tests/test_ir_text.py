@@ -1,0 +1,180 @@
+"""Round-trip tests for the textual IR (printer + parser)."""
+
+import pytest
+
+from repro.ir import Module
+from repro.ir.parser import ParseError, parse_module
+from repro.ir.printer import format_instr, print_module
+from repro.ir.validate import validate_module
+from repro.workloads import build_workload, workload_names
+
+from tests.helpers import (
+    call_chain_module,
+    float_module,
+    run_to_completion,
+    simple_sum_module,
+    stack_pointer_module,
+    tls_module,
+)
+
+
+def _structurally_equal(a: Module, b: Module) -> bool:
+    if a.name != b.name or a.entry != b.entry:
+        return False
+    if set(a.globals) != set(b.globals):
+        return False
+    for name, ga in a.globals.items():
+        gb = b.globals[name]
+        if (ga.vt, ga.count, ga.init, ga.thread_local, ga.const) != (
+            gb.vt, gb.count, gb.init, gb.thread_local, gb.const
+        ):
+            return False
+    if set(a.functions) != set(b.functions):
+        return False
+    for name, fa in a.functions.items():
+        fb = b.functions[name]
+        if fa.params != fb.params or fa.ret != fb.ret:
+            return False
+        if fa.library != fb.library:
+            return False
+        if fa.block_order != fb.block_order:
+            return False
+        if fa.var_types != fb.var_types:
+            return False
+        if fa.stack_buffers != fb.stack_buffers:
+            return False
+        for label in fa.block_order:
+            ia = fa.blocks[label].instrs
+            ib = fb.blocks[label].instrs
+            if len(ia) != len(ib):
+                return False
+            for x, y in zip(ia, ib):
+                if format_instr(x, fa) != format_instr(y, fb):
+                    return False
+    return True
+
+
+HELPER_MODULES = [
+    simple_sum_module,
+    call_chain_module,
+    float_module,
+    stack_pointer_module,
+    tls_module,
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "builder", HELPER_MODULES, ids=lambda b: b.__name__
+    )
+    def test_helper_modules_round_trip(self, builder):
+        original = builder()
+        text = print_module(original)
+        parsed = parse_module(text)
+        validate_module(parsed)
+        assert _structurally_equal(original, parsed)
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_workloads_round_trip(self, name):
+        original = build_workload(name, "A", threads=2, scale=0.01)
+        parsed = parse_module(print_module(original))
+        validate_module(parsed)
+        assert _structurally_equal(original, parsed)
+
+    def test_double_round_trip_fixed_point(self):
+        original = build_workload("is", "A", threads=1, scale=0.01)
+        once = print_module(parse_module(print_module(original)))
+        twice = print_module(parse_module(once))
+        assert once == twice
+
+    def test_parsed_module_runs_identically(self):
+        original = simple_sum_module()
+        ref, ref_code, _ = run_to_completion(simple_sum_module())
+        parsed = parse_module(print_module(original))
+        out, code, _ = run_to_completion(parsed)
+        assert out == ref
+        assert code == ref_code
+
+    def test_parsed_workload_runs_and_migrates(self):
+        parsed = parse_module(
+            print_module(build_workload("ep", "A", threads=2, scale=0.01))
+        )
+        ref, _, _ = run_to_completion(
+            parse_module(
+                print_module(build_workload("ep", "A", threads=2, scale=0.01))
+            )
+        )
+        out, code, _ = run_to_completion(parsed, migrate_at=3)
+        assert out == ref
+        assert code == 0
+
+
+class TestTextForm:
+    def test_printed_form_is_readable(self):
+        text = print_module(simple_sum_module())
+        assert "module simple" in text
+        assert "func main() -> i64 {" in text
+        assert "entry:" in text
+        assert "ret" in text
+
+    def test_globals_printed(self):
+        text = print_module(tls_module())
+        assert "tls tls_counter i64 x 1 = [100]" in text
+        assert "global g_results i64 x 8" in text
+
+    def test_library_annotation(self):
+        m = Module("m")
+        from repro.ir import FunctionBuilder
+        from repro.isa.types import ValueType as VT
+
+        fn = m.function("memset_like", [("p", VT.PTR)], VT.I64, library=True)
+        FunctionBuilder(fn).ret(0)
+        main = m.function("main", [], VT.I64)
+        FunctionBuilder(main).ret(0)
+        text = print_module(m)
+        assert "-> i64 library {" in text
+        parsed = parse_module(text)
+        assert parsed.functions["memset_like"].library
+
+
+class TestParseErrors:
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse_module("")
+
+    def test_instruction_outside_function(self):
+        with pytest.raises(ParseError, match="outside"):
+            parse_module("module m\nret 0\n")
+
+    def test_instruction_outside_block(self):
+        with pytest.raises(ParseError, match="outside a block"):
+            parse_module("module m\nfunc f() -> i64 {\n  ret 0\n}\n")
+
+    def test_unknown_type(self):
+        with pytest.raises(ParseError, match="unknown type"):
+            parse_module(
+                "module m\nfunc f() -> i128 {\nentry:\n  ret 0\n}\n"
+            )
+
+    def test_garbage_instruction(self):
+        with pytest.raises(ParseError, match="unparseable"):
+            parse_module(
+                "module m\nfunc f() -> i64 {\nentry:\n  frobnicate x\n}\n"
+            )
+
+    def test_negative_offsets_and_floats(self):
+        text = (
+            "module m\n"
+            "entry f\n"
+            "func f(p : ptr) -> f64 {\n"
+            "entry:\n"
+            "  v : f64 = load f64 [p + -16]\n"
+            "  w : f64 = mul v, -2.5e-3\n"
+            "  ret w\n"
+            "}\n"
+        )
+        module = parse_module(text)
+        validate_module(module)
+        instrs = module.functions["f"].blocks["entry"].instrs
+        assert instrs[0].offset == -16
+        assert instrs[1].b == pytest.approx(-2.5e-3)

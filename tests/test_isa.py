@@ -1,0 +1,109 @@
+"""Unit tests for the ISA descriptions."""
+
+import pytest
+
+from repro.isa import ALL_ISAS, ARM64, X86_64, get_isa
+from repro.isa.isa import InstrClass
+from repro.isa.registers import RegKind
+from repro.isa.types import ValueType, type_align, type_size
+
+
+class TestTypes:
+    def test_lp64_sizes(self):
+        assert type_size(ValueType.I64) == 8
+        assert type_size(ValueType.PTR) == 8
+        assert type_size(ValueType.F32) == 4
+        assert type_size(ValueType.I8) == 1
+
+    def test_alignment_equals_size(self):
+        for vt in ValueType:
+            assert type_align(vt) == type_size(vt)
+
+    def test_float_flags(self):
+        assert ValueType.F64.is_float
+        assert not ValueType.I32.is_float
+        assert ValueType.PTR.is_integer
+
+
+class TestRegisterFiles:
+    def test_arm_callee_saved_gprs(self):
+        saved = [r.name for r in ARM64.regfile.callee_saved(RegKind.GPR)]
+        assert saved == [f"x{i}" for i in range(19, 29)]
+
+    def test_arm_callee_saved_fprs(self):
+        saved = [r.name for r in ARM64.regfile.callee_saved(RegKind.FPR)]
+        assert saved == [f"v{i}" for i in range(8, 16)]
+
+    def test_x86_callee_saved_gprs(self):
+        saved = {r.name for r in X86_64.regfile.callee_saved(RegKind.GPR)}
+        assert saved == {"rbx", "r12", "r13", "r14", "r15"}
+
+    def test_x86_has_no_callee_saved_fprs(self):
+        assert X86_64.regfile.callee_saved(RegKind.FPR) == []
+
+    def test_specials_not_allocatable(self):
+        for isa in (ARM64, X86_64):
+            names = {r.name for r in isa.regfile.allocatable(RegKind.GPR)}
+            assert isa.regfile.sp not in names
+            assert isa.regfile.fp not in names
+            assert isa.regfile.pc not in names
+
+    def test_special_registers(self):
+        assert ARM64.regfile.sp == "sp" and ARM64.regfile.fp == "x29"
+        assert X86_64.regfile.sp == "rsp" and X86_64.regfile.fp == "rbp"
+
+
+class TestCallingConventions:
+    def test_arg_register_counts(self):
+        assert ARM64.cc.max_reg_args(is_float=False) == 8
+        assert X86_64.cc.max_reg_args(is_float=False) == 6
+
+    def test_arg_register_lookup(self):
+        assert ARM64.cc.arg_register(0, False) == "x0"
+        assert X86_64.cc.arg_register(0, False) == "rdi"
+        assert X86_64.cc.arg_register(6, False) == ""
+
+    def test_return_address_discipline(self):
+        assert not ARM64.cc.return_address_on_stack
+        assert ARM64.cc.link_register == "x30"
+        assert X86_64.cc.return_address_on_stack
+        assert X86_64.cc.link_register == ""
+
+    def test_red_zone(self):
+        assert X86_64.cc.red_zone == 128
+        assert ARM64.cc.red_zone == 0
+
+
+class TestIsaLookup:
+    def test_get_isa(self):
+        assert get_isa("arm64") is ARM64
+        assert get_isa("x86_64") is X86_64
+
+    def test_unknown_isa(self):
+        with pytest.raises(KeyError):
+            get_isa("riscv")
+
+    def test_registry_complete(self):
+        assert set(ALL_ISAS) == {"arm64", "x86_64"}
+
+    def test_isa_equality_by_name(self):
+        assert get_isa("arm64") == ARM64
+        assert hash(ARM64) == hash(get_isa("arm64"))
+
+
+class TestExpansion:
+    def test_risc_expands_memory_ops(self):
+        assert ARM64.expansion(InstrClass.LOAD) > X86_64.expansion(InstrClass.LOAD)
+
+    def test_cisc_denser_int_alu(self):
+        assert X86_64.expansion(InstrClass.INT_ALU) < ARM64.expansion(InstrClass.INT_ALU)
+
+    def test_default_expansion_is_one(self):
+        assert ARM64.expansion(InstrClass.NOP) == pytest.approx(1.0)
+
+    def test_code_density(self):
+        assert X86_64.bytes_per_instr < ARM64.bytes_per_instr
+
+    def test_tls_variants(self):
+        assert ARM64.tls_variant == 1
+        assert X86_64.tls_variant == 2

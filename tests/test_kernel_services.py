@@ -1,0 +1,218 @@
+"""Unit tests for kernel services: messaging, DSM, namespaces, VFS,
+vDSO, loader."""
+
+import pytest
+
+from repro.compiler import Toolchain
+from repro.kernel.dsm import DsmService
+from repro.kernel.filesystem import VirtualFileSystem
+from repro.kernel.loader import load_binary, thread_pointer_for
+from repro.kernel.messages import MessagingLayer
+from repro.kernel.namespaces import HeterogeneousContainer, Namespace
+from repro.kernel.vdso import VdsoPage
+from repro.linker.layout import PAGE_SIZE
+from repro.machine.interconnect import make_dolphin_pxh810
+from repro.runtime.address_space import AddressSpace
+
+from tests.helpers import simple_sum_module, tls_module
+
+A, B = "kernel-a", "kernel-b"
+
+
+def _messaging():
+    return MessagingLayer(make_dolphin_pxh810())
+
+
+class TestMessaging:
+    def test_local_send_free(self):
+        msg = _messaging()
+        assert msg.send("x", A, A, 100) == 0.0
+
+    def test_remote_send_costs(self):
+        msg = _messaging()
+        assert msg.send("x", A, B, 100) > 0.0
+        assert msg.counts["x"] == 1
+
+    def test_rpc_round_trip(self):
+        msg = _messaging()
+        t = msg.rpc("dsm.page", A, B, 32, PAGE_SIZE)
+        assert t > msg.send("y", A, B, 32)
+        assert msg.counts["dsm.page.req"] == 1
+        assert msg.counts["dsm.page.rep"] == 1
+
+    def test_broadcast_max(self):
+        msg = _messaging()
+        t = msg.broadcast("inv", A, [B, "kernel-c"], 32)
+        assert t > 0
+
+
+class TestDsm:
+    def _dsm(self):
+        space = AddressSpace()
+        space.map_region(0, PAGE_SIZE * 16, "data")
+        space.map_region(PAGE_SIZE * 32, PAGE_SIZE * 4, "text", aliased=True)
+        return DsmService(space, _messaging(), A)
+
+    def test_first_touch_is_local(self):
+        dsm = self._dsm()
+        assert dsm.access(A, 0x10, write=True) == 0.0
+        assert dsm.owner_of(0x10) == A
+
+    def test_remote_read_faults_once(self):
+        dsm = self._dsm()
+        dsm.access(A, 0x10, write=True)
+        cost = dsm.access(B, 0x10, write=False)
+        assert cost > 0
+        assert dsm.access(B, 0x10, write=False) == 0.0  # now shared
+
+    def test_write_invalidates_sharers(self):
+        dsm = self._dsm()
+        dsm.access(A, 0x10, write=True)
+        dsm.access(B, 0x10, write=False)
+        cost = dsm.access(B, 0x10, write=True)
+        assert cost > 0
+        assert dsm.owner_of(0x10) == B
+        assert dsm.stats.invalidations >= 1
+        # A must now fault to read.
+        assert dsm.access(A, 0x10, write=False) > 0
+
+    def test_aliased_text_never_transfers(self):
+        dsm = self._dsm()
+        addr = PAGE_SIZE * 32 + 8
+        assert dsm.access(A, addr, write=False) == 0.0
+        assert dsm.access(B, addr, write=False) == 0.0
+        assert dsm.stats.page_transfers == 0
+
+    def test_epoch_bumps_on_transfer(self):
+        dsm = self._dsm()
+        dsm.access(A, 0x10, write=True)
+        e0 = dsm.epoch
+        dsm.access(B, 0x10, write=False)
+        assert dsm.epoch > e0
+
+    def test_ensure_range_bulk(self):
+        dsm = self._dsm()
+        for page in range(4):
+            dsm.access(A, page * PAGE_SIZE, write=True)
+        cost, pages = dsm.ensure_range(B, 0, 4 * PAGE_SIZE, write=True)
+        assert pages == 4
+        assert cost > 0
+        again, pages2 = dsm.ensure_range(B, 0, 4 * PAGE_SIZE, write=True)
+        assert pages2 == 0 and again == 0.0
+
+    def test_residual_cleanup(self):
+        dsm = self._dsm()
+        dsm.access(A, 0x10, write=True)
+        dsm.access(B, 0x10, write=False)
+        dropped = dsm.all_threads_migrated_cleanup(B)
+        assert dropped == 1
+        assert dsm.access(B, 0x10, write=False) > 0  # must re-fetch
+
+    def test_resident_pages(self):
+        dsm = self._dsm()
+        dsm.access(A, 0, write=True)
+        dsm.access(A, PAGE_SIZE, write=True)
+        assert dsm.resident_pages(A) == 2
+
+
+class TestNamespaces:
+    def test_container_spans(self):
+        c = HeterogeneousContainer("web")
+        created = c.span_to(A)
+        assert created == 6  # all namespace kinds
+        assert c.spans(A)
+        assert c.span_to(A) == 0  # idempotent
+
+    def test_kernels_intersection(self):
+        c = HeterogeneousContainer("web")
+        c.span_to(A)
+        c.span_to(B)
+        assert c.kernels() == {A, B}
+
+    def test_pid_mapping(self):
+        c = HeterogeneousContainer("web")
+        local = c.adopt(1234)
+        assert local == 1
+        assert c.local_pid(1234) == 1
+        assert c.local_pid(999) is None
+
+    def test_bad_namespace_kind(self):
+        with pytest.raises(ValueError):
+            Namespace("bogus", 1)
+
+
+class TestVfs:
+    def test_create_open_read_write(self):
+        vfs = VirtualFileSystem(_messaging(), A)
+        fd, cost = vfs.open("/data/1", A, create=True)
+        assert cost == 0.0
+        vfs.write(fd, [1, 2, 3], A)
+        vfs.close(fd)
+        fd2, _ = vfs.open("/data/1", A)
+        data, _ = vfs.read(fd2, 3, A)
+        assert data == [1, 2, 3]
+
+    def test_remote_access_charges(self):
+        vfs = VirtualFileSystem(_messaging(), A)
+        fd, _ = vfs.open("/data/1", A, create=True)
+        vfs.write(fd, [7], A)
+        fd2, cost = vfs.open("/data/1", B)
+        assert cost > 0
+        data, rcost = vfs.read(fd2, 1, B)
+        assert data == [7] and rcost > 0
+        # Cached at B now.
+        fd3, _ = vfs.open("/data/1", B)
+        _, again = vfs.read(fd3, 1, B)
+        assert again == 0.0
+
+    def test_missing_file(self):
+        vfs = VirtualFileSystem(_messaging(), A)
+        with pytest.raises(FileNotFoundError):
+            vfs.open("/nope", A)
+
+    def test_bad_fd(self):
+        vfs = VirtualFileSystem(_messaging(), A)
+        with pytest.raises(ValueError):
+            vfs.read(77, 1, A)
+
+
+class TestVdso:
+    def test_flag_round_trip(self):
+        space = AddressSpace()
+        vdso = VdsoPage(space, ["m0", "m1"])
+        assert vdso.read_target(5) is None
+        vdso.request_migration(5, "m1")
+        assert vdso.read_target(5) == "m1"
+        vdso.clear(5)
+        assert vdso.read_target(5) is None
+
+    def test_flags_per_thread(self):
+        vdso = VdsoPage(AddressSpace(), ["m0", "m1"])
+        vdso.request_migration(1, "m0")
+        assert vdso.read_target(2) is None
+
+
+class TestLoader:
+    def test_sections_mapped(self):
+        binary = Toolchain().build(simple_sum_module())
+        process = load_binary(binary, 1, A, _messaging(), [A, B])
+        names = {v.name for v in process.space.vmas()}
+        assert {".text", "heap", "stack", "[vdso]", "tls"} <= names
+
+    def test_text_aliased(self):
+        binary = Toolchain().build(simple_sum_module())
+        process = load_binary(binary, 1, A, _messaging(), [A, B])
+        text = [v for v in process.space.vmas() if v.name == ".text"][0]
+        assert text.aliased and not text.writable
+
+    def test_globals_initialised(self):
+        binary = Toolchain().build(tls_module())
+        process = load_binary(binary, 1, A, _messaging(), [A, B])
+        # g_results is zero-initialised .bss; tls template holds 100.
+        tp = thread_pointer_for(binary, 0)
+        assert binary.tls.offsets["tls_counter"] < 0
+        assert process.space.read(binary.global_addresses["g_results"]) == 0
+
+    def test_thread_pointers_distinct(self):
+        binary = Toolchain().build(tls_module())
+        assert thread_pointer_for(binary, 0) != thread_pointer_for(binary, 1)

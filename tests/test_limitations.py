@@ -1,0 +1,151 @@
+"""Tests for the Section 5.4 limitations: inline assembly and library
+code restrict where migration can happen."""
+
+import pytest
+
+from repro.compiler import Toolchain
+from repro.compiler.toolchain import UnsupportedFeatureError
+from repro.ir import FunctionBuilder, MigPoint, Module
+from repro.isa.types import ValueType as VT
+
+from tests.helpers import X86, run_to_completion
+
+
+def _module_with_asm(library: bool = False):
+    m = Module("asm")
+    helper = m.function("fastpath", [("x", VT.I64)], VT.I64, library=library)
+    fb = FunctionBuilder(helper)
+    fb.inline_asm("rep movsb", instr_estimate=16)
+    fb.ret(fb.binop("mul", "x", 3, VT.I64))
+    main = m.function("main", [], VT.I64)
+    fb = FunctionBuilder(main)
+    r = fb.call("fastpath", [7], VT.I64)
+    fb.syscall("print", [r])
+    fb.ret(0)
+    m.entry = "main"
+    return m
+
+
+def _module_with_library_fn():
+    m = Module("lib")
+    memcpyish = m.function(
+        "lib_memfill", [("dst", VT.PTR), ("n", VT.I64)], VT.I64, library=True
+    )
+    fb = FunctionBuilder(memcpyish)
+    with fb.for_range("i", 0, "n") as i:
+        off = fb.binop("mul", i, 8, VT.I64)
+        fb.store(fb.binop("add", "dst", off, VT.I64), 0, 42, VT.I64)
+    fb.work(60_000_000, "store")
+    fb.ret("n")
+
+    main = m.function("main", [], VT.I64)
+    fb = FunctionBuilder(main)
+    buf = fb.syscall("sbrk", [256], VT.I64)
+    fb.call("lib_memfill", [buf, 4], VT.I64)
+    fb.syscall("print", [fb.load(buf, 24, VT.I64)])
+    fb.ret(0)
+    m.entry = "main"
+    return m
+
+
+def _migpoint_functions(module):
+    out = set()
+    for name, fn in module.functions.items():
+        for _, _, instr in fn.instructions():
+            if isinstance(instr, MigPoint):
+                out.add(name)
+    return out
+
+
+class TestInlineAsm:
+    def test_strict_toolchain_rejects(self):
+        with pytest.raises(UnsupportedFeatureError, match="fastpath"):
+            Toolchain().build(_module_with_asm())
+
+    def test_allow_unmigratable_compiles_and_runs(self):
+        from repro.kernel import boot_testbed
+        from repro.runtime.execution import ExecutionEngine
+
+        binary = Toolchain(allow_unmigratable=True).build(_module_with_asm())
+        system = boot_testbed()
+        process = system.exec_process(binary, X86)
+        ExecutionEngine(system, process).run()
+        assert process.output == [21]
+
+    def test_asm_function_gets_no_migration_points(self):
+        m = _module_with_asm()
+        Toolchain(allow_unmigratable=True).build(m)
+        assert "fastpath" not in _migpoint_functions(m)
+        assert "main" in _migpoint_functions(m)
+
+    def test_library_asm_is_tolerated_by_strict_build(self):
+        m = _module_with_asm(library=True)
+        binary = Toolchain().build(m)  # library code may contain asm
+        assert binary is not None
+
+    def test_none_mode_ignores_asm(self):
+        binary = Toolchain(migration_points="none").build(_module_with_asm())
+        assert binary.migration_point_count == 0
+
+
+class TestLibraryCode:
+    def test_no_points_inside_library_functions(self):
+        m = _module_with_library_fn()
+        Toolchain().build(m)
+        assert "lib_memfill" not in _migpoint_functions(m)
+        assert "main" in _migpoint_functions(m)
+
+    def test_library_work_not_strip_mined(self):
+        from repro.ir.instructions import Work
+
+        m = _module_with_library_fn()
+        Toolchain().build(m)
+        lib = m.functions["lib_memfill"]
+        amounts = [
+            instr.amount
+            for _, _, instr in lib.instructions()
+            if isinstance(instr, Work)
+        ]
+        assert amounts == [60_000_000]  # untouched, no chunking
+
+    def test_library_module_runs_correctly(self):
+        m = _module_with_library_fn()
+        from repro.kernel import boot_testbed
+        from repro.runtime.execution import ExecutionEngine
+
+        binary = Toolchain().build(m)
+        system = boot_testbed()
+        process = system.exec_process(binary, X86)
+        ExecutionEngine(system, process).run()
+        assert process.output == [42]
+
+    def test_migration_deferred_past_library_code(self):
+        """A migration requested while the thread is inside library code
+        lands at the next migration point in application code."""
+        from repro.kernel import boot_testbed
+        from repro.runtime.execution import EngineHooks, ExecutionEngine
+
+        m = _module_with_library_fn()
+        binary = Toolchain().build(m)
+        system = boot_testbed()
+        process = system.exec_process(binary, X86)
+        # Request before the run even starts: the thread enters main
+        # (migrates at main's entry point), so instead request inside.
+        migrated_in = []
+        hooks = EngineHooks()
+        requested = [False]
+
+        def request_once(thread, fn, point_id, instrs):
+            if not requested[0]:
+                requested[0] = True
+                system.request_thread_migration(thread, "arm-server")
+
+        hooks.on_migration_point = request_once
+        hooks.on_migration = lambda thread, outcome: migrated_in.append(
+            thread.frames[-1].function
+        )
+        ExecutionEngine(system, process, hooks).run()
+        assert migrated_in, "migration never happened"
+        # The landing frame is application code, never the library.
+        assert migrated_in[0] != "lib_memfill"
+        assert process.output == [42]

@@ -1,0 +1,164 @@
+"""Unit tests for the linker: alignment, scripts, TLS, VM map."""
+
+import pytest
+
+from repro.compiler import Toolchain
+from repro.ir import FunctionBuilder, GlobalVar, Module
+from repro.isa.types import ValueType as VT
+from repro.linker import (
+    DEFAULT_VM_MAP,
+    IsaObject,
+    Symbol,
+    align_symbols,
+    build_tls_layout,
+    render_linker_script,
+)
+from repro.linker.layout import VirtualMemoryMap, align_up, page_of
+
+from tests.helpers import call_chain_module
+
+
+def _two_objects():
+    arm = IsaObject("arm64")
+    x86 = IsaObject("x86_64")
+    for name, arm_size, x86_size in (("main", 200, 150), ("helper", 80, 120)):
+        arm.add_symbol(Symbol(name, ".text", arm_size, 16, is_function=True))
+        x86.add_symbol(Symbol(name, ".text", x86_size, 16, is_function=True))
+    for obj in (arm, x86):
+        obj.add_symbol(Symbol("g_data", ".data", 64))
+    return [arm, x86]
+
+
+class TestAlignment:
+    def test_functions_padded_to_max(self):
+        layout = align_symbols(_two_objects(), DEFAULT_VM_MAP)
+        assert layout.symbols["main"].padded_size >= 200
+        assert layout.symbols["helper"].padded_size >= 120
+
+    def test_same_address_every_isa(self):
+        layout = align_symbols(_two_objects(), DEFAULT_VM_MAP)
+        # There is a single common layout: one address per symbol.
+        assert layout.symbols["main"].address == DEFAULT_VM_MAP.text_base
+
+    def test_monotone_non_overlapping(self):
+        layout = align_symbols(_two_objects(), DEFAULT_VM_MAP)
+        placed = layout.in_section(".text")
+        for a, b in zip(placed, placed[1:]):
+            assert a.end <= b.address
+
+    def test_padding_accounting(self):
+        layout = align_symbols(_two_objects(), DEFAULT_VM_MAP)
+        assert layout.total_padding("x86_64", ".text") >= 50  # main padded
+        assert layout.total_padding("arm64", ".text") >= 40  # helper padded
+
+    def test_footprints(self):
+        layout = align_symbols(_two_objects(), DEFAULT_VM_MAP)
+        padded = layout.footprint("x86_64", ".text", padded=True)
+        natural = layout.footprint("x86_64", ".text", padded=False)
+        assert padded > natural
+
+    def test_unaligned_mode_only_rounding_padding(self):
+        objs = _two_objects()
+        layout = align_symbols([objs[0]], DEFAULT_VM_MAP, align_functions=False)
+        assert not layout.aligned
+        # No cross-ISA padding; at most rounding to symbol alignment.
+        for placed in layout.in_section(".text"):
+            assert placed.padded_size - placed.sizes["arm64"] < 16
+
+    def test_symbol_order_mismatch_rejected(self):
+        arm = IsaObject("arm64")
+        x86 = IsaObject("x86_64")
+        arm.add_symbol(Symbol("a", ".text", 10, is_function=True))
+        x86.add_symbol(Symbol("b", ".text", 10, is_function=True))
+        with pytest.raises(ValueError, match="differ"):
+            align_symbols([arm, x86], DEFAULT_VM_MAP)
+
+    def test_toolchain_layout_common(self):
+        binary = Toolchain().build(call_chain_module(3))
+        for name in binary.module.functions:
+            arm = binary.machine_function("arm64", name)
+            x86 = binary.machine_function("x86_64", name)
+            assert arm.text_addr == x86.text_addr == binary.address_of(name)
+
+
+class TestLinkerScript:
+    def test_script_mentions_symbols_and_padding(self):
+        layout = align_symbols(_two_objects(), DEFAULT_VM_MAP)
+        script = render_linker_script(layout, "x86_64")
+        assert "SECTIONS" in script
+        assert ".text.main" in script
+        assert "pad to common size" in script
+
+    def test_scripts_differ_per_isa_only_in_padding(self):
+        layout = align_symbols(_two_objects(), DEFAULT_VM_MAP)
+        arm = render_linker_script(layout, "arm64")
+        x86 = render_linker_script(layout, "x86_64")
+        assert arm != x86
+        # addresses identical
+        for line in arm.splitlines():
+            if line.strip().startswith(". = 0x"):
+                assert line in x86
+
+
+class TestTls:
+    def test_offsets_negative_variant2(self):
+        layout = build_tls_layout(
+            [GlobalVar("a", VT.I64, thread_local=True, init=[1])]
+        )
+        assert layout.offsets["a"] < 0
+        assert layout.block_size >= 8
+
+    def test_tdata_before_tbss(self):
+        layout = build_tls_layout(
+            [
+                GlobalVar("zeroed", VT.I64, thread_local=True),
+                GlobalVar("initialised", VT.I64, thread_local=True, init=[5]),
+            ]
+        )
+        assert layout.offsets["initialised"] < layout.offsets["zeroed"]
+
+    def test_non_tls_ignored(self):
+        layout = build_tls_layout([GlobalVar("plain", VT.I64)])
+        assert layout.offsets == {}
+        assert layout.block_size == 0
+
+    def test_address_of(self):
+        layout = build_tls_layout(
+            [GlobalVar("a", VT.I64, thread_local=True, init=[1])]
+        )
+        tp = 0x10000
+        assert layout.address_of(tp, "a") == tp + layout.offsets["a"]
+
+
+class TestVmMap:
+    def test_stack_regions_disjoint(self):
+        vm = VirtualMemoryMap()
+        r0 = vm.stack_region(0)
+        r1 = vm.stack_region(1)
+        assert r0[0] >= r1[1]  # thread 0 above thread 1
+
+    def test_stack_region_bounds(self):
+        vm = VirtualMemoryMap()
+        low, high = vm.stack_region(0)
+        assert high - low == vm.stack_size
+        assert vm.is_stack_address(low)
+        assert not vm.is_stack_address(vm.heap_base)
+
+    def test_out_of_range_thread(self):
+        with pytest.raises(ValueError):
+            VirtualMemoryMap().stack_region(10_000)
+
+    def test_section_bases_distinct(self):
+        vm = VirtualMemoryMap()
+        bases = [vm.section_base(s) for s in (".text", ".rodata", ".data", ".bss")]
+        assert len(set(bases)) == len(bases)
+
+    def test_align_up(self):
+        assert align_up(5, 8) == 8
+        assert align_up(8, 8) == 8
+        assert align_up(0, 16) == 0
+
+    def test_page_of(self):
+        assert page_of(0) == 0
+        assert page_of(4096) == 1
+        assert page_of(4095) == 0

@@ -1,0 +1,159 @@
+"""Unit tests for the machine models: CPU, power, cache, interconnect,
+McPAT projection."""
+
+import pytest
+
+from repro.isa.isa import InstrClass
+from repro.machine import (
+    make_dolphin_pxh810,
+    make_xeon_e5_1650v2,
+    make_xgene1,
+    project_finfet,
+)
+from repro.machine.cache import make_l1i
+from repro.machine.interconnect import make_10gbe
+from repro.sim.clock import Clock
+
+
+class TestCpuModels:
+    def test_xeon_faster_per_core(self):
+        xeon = make_xeon_e5_1650v2().cpu
+        xgene = make_xgene1().cpu
+        counts = {InstrClass.INT_ALU: 1e9}
+        ratio = xgene.seconds_for(counts) / xeon.seconds_for(counts)
+        # X-Gene 1 is roughly 4-6x slower per core than the Xeon.
+        assert 3.5 < ratio < 7.5
+
+    def test_core_counts(self):
+        assert make_xeon_e5_1650v2().cpu.cores == 6  # HT disabled
+        assert make_xgene1().cpu.cores == 8
+
+    def test_frequencies(self):
+        assert make_xeon_e5_1650v2().cpu.freq_hz == pytest.approx(3.5e9)
+        assert make_xgene1().cpu.freq_hz == pytest.approx(2.4e9)
+
+    def test_cycles_for_mixed(self):
+        cpu = make_xeon_e5_1650v2().cpu
+        counts = {InstrClass.INT_ALU: 100, InstrClass.LOAD: 50}
+        expected = 100 * cpu.cpi[InstrClass.INT_ALU] + 50 * cpu.cpi[InstrClass.LOAD]
+        assert cpu.cycles_for(counts) == pytest.approx(expected)
+
+
+class TestPower:
+    def test_power_grows_with_load(self):
+        m = make_xeon_e5_1650v2()
+        idle = m.power.cpu_power(0)
+        busy = m.power.cpu_power(6)
+        assert busy > idle > 0
+
+    def test_system_above_cpu(self):
+        m = make_xgene1()
+        assert m.power.system_power(4) > m.power.cpu_power(4)
+
+    def test_io_adder(self):
+        m = make_xeon_e5_1650v2()
+        assert m.power.cpu_power(1, io_active=True) > m.power.cpu_power(1)
+
+    def test_load_tracking(self):
+        m = make_xeon_e5_1650v2()
+        m.thread_started()
+        m.thread_started()
+        assert m.active_cores() == 2
+        assert m.utilization() == pytest.approx(2 / 6)
+        m.thread_stopped()
+        assert m.active_cores() == 1
+
+    def test_thread_underflow_guarded(self):
+        m = make_xeon_e5_1650v2()
+        with pytest.raises(RuntimeError):
+            m.thread_stopped()
+
+    def test_oversubscription_caps_active_cores(self):
+        m = make_xeon_e5_1650v2()
+        for _ in range(10):
+            m.thread_started()
+        assert m.active_cores() == 6
+
+    def test_io_activity_window(self):
+        clock = Clock()
+        m = make_xeon_e5_1650v2(clock=clock)
+        m.note_io_activity(1.0)
+        assert m.io_active()
+        clock.advance_to(2.0)
+        assert not m.io_active()
+
+    def test_sensors_follow_load(self):
+        m = make_xgene1()
+        before = m.cpu_power()
+        m.thread_started()
+        assert m.cpu_power() > before
+
+
+class TestMcPat:
+    def test_projection_scales_soc_only(self):
+        m = make_xgene1()
+        projected = project_finfet(m.power)
+        assert projected.cpu_idle_w == pytest.approx(m.power.cpu_idle_w * 0.1)
+        assert projected.core_active_w == pytest.approx(m.power.core_active_w * 0.1)
+        assert projected.platform_w == pytest.approx(m.power.platform_w)
+
+    def test_projection_one_tenth_total_cpu(self):
+        m = make_xgene1()
+        projected = project_finfet(m.power)
+        assert projected.cpu_power(8) == pytest.approx(m.power.cpu_power(8) * 0.1)
+
+    def test_original_untouched(self):
+        m = make_xgene1()
+        before = m.power.cpu_idle_w
+        project_finfet(m.power)
+        assert m.power.cpu_idle_w == before
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            project_finfet(make_xgene1().power, factor=0)
+
+
+class TestCache:
+    def test_miss_floor_below_capacity(self):
+        cache = make_l1i()
+        assert cache.miss_ratio(16 * 1024) == pytest.approx(cache.base_miss_ratio)
+
+    def test_miss_grows_past_capacity(self):
+        cache = make_l1i()
+        small = cache.miss_ratio(64 * 1024)
+        large = cache.miss_ratio(512 * 1024)
+        assert large > small
+
+    def test_perturbation_bounded_and_stable(self):
+        cache = make_l1i()
+        a = cache.placement_perturbation("is.A.x86", 0.08)
+        b = cache.placement_perturbation("is.A.x86", 0.08)
+        assert a == b
+        assert -0.08 <= a <= 0.08
+
+    def test_perturbation_varies_by_key(self):
+        cache = make_l1i()
+        values = {cache.placement_perturbation(f"k{i}") for i in range(16)}
+        assert len(values) > 8
+
+
+class TestInterconnect:
+    def test_transfer_time_monotone(self):
+        link = make_dolphin_pxh810()
+        assert link.transfer_time(1 << 20) > link.transfer_time(4096)
+
+    def test_latency_floor(self):
+        link = make_dolphin_pxh810()
+        assert link.transfer_time(0) == pytest.approx(link.latency_s)
+
+    def test_dolphin_faster_than_10gbe(self):
+        assert make_dolphin_pxh810().transfer_time(1 << 20) < make_10gbe().transfer_time(1 << 20)
+
+    def test_stats(self):
+        link = make_dolphin_pxh810()
+        link.record(100)
+        link.record(200)
+        assert link.messages_sent == 2
+        assert link.bytes_sent == 300
+        link.reset_stats()
+        assert link.messages_sent == 0

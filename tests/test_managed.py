@@ -1,0 +1,115 @@
+"""Managed runtime (PadMig) baseline tests — the Figure 11 comparator."""
+
+import pytest
+
+from repro.kernel import boot_testbed
+from repro.managed import (
+    ManagedArray,
+    ManagedObject,
+    ObjectGraph,
+    PadMigRuntime,
+    ReflectionSerializer,
+)
+
+from tests.helpers import ARM, X86
+
+
+def _is_like_graph(keys=100_000):
+    """An IS-shaped heap: the key array plus control objects."""
+    root = ManagedObject("ISBenchmark")
+    root.set_field("iteration", "int", 10)
+    arr = ManagedArray("int", [0] * keys)
+    rank = ManagedArray("int", [0] * 1024)
+    root.set_ref("key_array", arr)
+    root.set_ref("rank_array", rank)
+    return ObjectGraph([root])
+
+
+class TestObjectGraph:
+    def test_reachability_counts(self):
+        graph = _is_like_graph()
+        assert graph.object_count() == 3
+
+    def test_cycles_handled(self):
+        a = ManagedObject("A")
+        b = ManagedObject("B")
+        a.set_ref("b", b)
+        b.set_ref("a", a)
+        graph = ObjectGraph([a])
+        assert graph.object_count() == 2
+
+    def test_sizes(self):
+        arr = ManagedArray("int", [0] * 1000)
+        assert arr.shallow_bytes >= 4000
+        obj = ManagedObject("X")
+        obj.set_field("f", "long", 1)
+        assert obj.shallow_bytes >= 24
+
+    def test_bad_primitive_rejected(self):
+        with pytest.raises(ValueError):
+            ManagedObject("X").set_field("f", "string", "no")
+
+
+class TestSerializer:
+    def test_costs_scale_with_payload(self):
+        system = boot_testbed()
+        ser = ReflectionSerializer()
+        x86 = system.machines[X86]
+        small = ser.serialize(_is_like_graph(10_000), x86)
+        large = ser.serialize(_is_like_graph(1_000_000), x86)
+        assert large.seconds > small.seconds
+        assert large.payload_bytes > small.payload_bytes
+
+    def test_deserialize_slower(self):
+        system = boot_testbed()
+        ser = ReflectionSerializer()
+        x86 = system.machines[X86]
+        s = ser.serialize(_is_like_graph(), x86)
+        d = ser.deserialize(s, x86)
+        assert d.seconds > s.seconds
+
+    def test_arm_slower_than_x86(self):
+        system = boot_testbed()
+        ser = ReflectionSerializer()
+        s_x86 = ser.serialize(_is_like_graph(), system.machines[X86])
+        s_arm = ser.serialize(_is_like_graph(), system.machines[ARM])
+        assert s_arm.seconds > s_x86.seconds
+
+
+class TestPadMigRun:
+    def _run(self, keys=4_000_000):
+        system = boot_testbed()
+        runtime = PadMigRuntime(system)
+        return runtime.run_with_migration(
+            _is_like_graph(keys),
+            src_machine=X86,
+            dst_machine=ARM,
+            native_compute_before_s=4.0,
+            native_compute_after_s=1.5,
+            dst_native_ratio=3.0,
+        ), system
+
+    def test_phases_in_order(self):
+        run, _ = self._run()
+        names = [p.name for p in run.phases]
+        assert names == ["compute", "serialize", "transfer", "deserialize", "compute"]
+        for a, b in zip(run.phases, run.phases[1:]):
+            assert b.start == pytest.approx(a.end)
+
+    def test_blackout_dominates_native_handoff(self):
+        """Serialisation stalls are seconds; native migration is sub-ms."""
+        run, _ = self._run()
+        assert run.migration_blackout_seconds() > 0.5
+
+    def test_java_slowdown_applied(self):
+        run, _ = self._run()
+        assert run.phase("compute").seconds == pytest.approx(8.0)  # 4.0 * 2x
+
+    def test_clock_advances(self):
+        run, system = self._run()
+        assert system.clock.now == pytest.approx(run.total_seconds)
+
+    def test_payload_recorded(self):
+        run, _ = self._run()
+        assert run.payload_bytes > 4_000_000 * 4
+        assert run.objects == 3

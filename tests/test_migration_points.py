@@ -1,0 +1,133 @@
+"""Tests for migration-point insertion and the gap profiler."""
+
+import pytest
+
+from repro.compiler import Toolchain
+from repro.compiler.migration_points import (
+    insert_boundary_points,
+    insert_profiled_points,
+)
+from repro.compiler.profiling import GapProfile, GapRecorder
+from repro.ir import FunctionBuilder, MigPoint, Module, Work
+from repro.isa.types import ValueType as VT
+from repro.kernel import boot_testbed
+from repro.runtime.execution import EngineHooks, ExecutionEngine
+
+from tests.helpers import X86, simple_sum_module
+
+
+def _module_with_burst(amount=500_000_000):
+    m = Module("burst")
+    fb = FunctionBuilder(m.function("main", [], VT.I64))
+    fb.work(amount, "int_alu")
+    fb.ret(0)
+    return m
+
+
+def _count_migpoints(module, origin=None):
+    count = 0
+    for fn in module.functions.values():
+        for _, _, instr in fn.instructions():
+            if isinstance(instr, MigPoint):
+                if origin is None or instr.origin == origin:
+                    count += 1
+    return count
+
+
+class TestBoundaryInsertion:
+    def test_entry_and_exit_points(self):
+        m = simple_sum_module()
+        inserted = insert_boundary_points(m)
+        assert inserted == _count_migpoints(m)
+        assert _count_migpoints(m, "entry") == len(m.functions)
+        assert _count_migpoints(m, "exit") >= len(m.functions)
+
+    def test_idempotent(self):
+        m = simple_sum_module()
+        insert_boundary_points(m)
+        first = _count_migpoints(m)
+        again = insert_boundary_points(m)
+        assert again == 0
+        assert _count_migpoints(m) == first
+
+
+class TestProfiledInsertion:
+    def test_large_burst_strip_mined(self):
+        m = _module_with_burst()
+        insert_boundary_points(m)
+        inserted = insert_profiled_points(m, target_gap=50_000_000)
+        assert inserted == 1
+        assert _count_migpoints(m, "profiled") == 1
+        # The Work amounts are now bounded by the chunk size.
+        for fn in m.functions.values():
+            for _, _, instr in fn.instructions():
+                if isinstance(instr, Work) and isinstance(instr.amount, (int, float)):
+                    assert instr.amount <= 50_000_000
+
+    def test_small_burst_untouched(self):
+        m = _module_with_burst(1_000_000)
+        insert_boundary_points(m)
+        assert insert_profiled_points(m, target_gap=50_000_000) == 0
+
+    def test_hot_function_filter(self):
+        m = _module_with_burst()
+        assert insert_profiled_points(m, hot_functions=["not_main"]) == 0
+        assert insert_profiled_points(m, hot_functions=["main"]) == 1
+
+    def test_strip_mined_module_still_valid_and_correct(self):
+        m = Module("sum")
+        fb = FunctionBuilder(m.function("main", [], VT.I64))
+        acc = fb.local("acc", VT.I64, init=0)
+        fb.work(120_000_000, "int_alu")
+        fb.binop_into(acc, "add", acc, 5, VT.I64)
+        fb.work(120_000_000, "int_alu")
+        fb.binop_into(acc, "add", acc, 7, VT.I64)
+        fb.syscall("print", [acc])
+        fb.ret(acc)
+        binary = Toolchain().build(m)
+        system = boot_testbed()
+        process = system.exec_process(binary, X86)
+        ExecutionEngine(system, process).run()
+        assert process.output == [12]
+
+
+class TestGapProfile:
+    def _profile_for(self, toolchain):
+        m = _module_with_burst(300_000_000)
+        binary = toolchain.build(m)
+        system = boot_testbed()
+        process = system.exec_process(binary, X86)
+        profile = GapProfile()
+        recorder = GapRecorder(profile)
+        hooks = EngineHooks(on_migration_point=(
+            lambda thread, fn, pid, instrs: recorder.on_migration_point(
+                thread.tid, fn, pid, instrs
+            )
+        ))
+        ExecutionEngine(system, process, hooks).run()
+        return profile
+
+    def test_pre_insertion_has_huge_gap(self):
+        profile = self._profile_for(Toolchain(migration_points="boundary"))
+        assert profile.max_gap() > 100_000_000
+
+    def test_post_insertion_gap_bounded(self):
+        profile = self._profile_for(Toolchain(migration_points="profiled"))
+        # Paper target: roughly one migration point per 50M instructions.
+        assert 0 < profile.max_gap() <= 55_000_000
+
+    def test_decade_histogram_shape(self):
+        profile = self._profile_for(Toolchain(migration_points="profiled"))
+        hist = profile.decade_histogram()
+        assert len(hist) == 11
+        assert sum(hist) == len(profile.site_means())
+
+    def test_hot_functions(self):
+        profile = self._profile_for(Toolchain(migration_points="boundary"))
+        assert "main" in profile.hot_functions(50_000_000)
+
+    def test_format_histogram(self):
+        profile = self._profile_for(Toolchain(migration_points="profiled"))
+        text = profile.format_histogram("IS gaps")
+        assert "IS gaps" in text
+        assert "10^7" in text

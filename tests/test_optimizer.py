@@ -1,0 +1,210 @@
+"""Tests for the middle-end optimisation passes."""
+
+import pytest
+
+from repro.compiler import Toolchain
+from repro.compiler.optimize import (
+    constant_fold,
+    copy_propagate,
+    eliminate_dead_code,
+    optimize_function,
+    optimize_module,
+    remove_unreachable_blocks,
+    simplify_branches,
+)
+from repro.ir import Const, FunctionBuilder, Module, UnOp
+from repro.ir.validate import validate_module
+from repro.isa.types import ValueType as VT
+from repro.workloads import build_workload, workload_names
+
+from tests.helpers import X86, run_to_completion, simple_sum_module
+
+
+def _count_instrs(fn):
+    return sum(len(b.instrs) for b in fn.blocks.values())
+
+
+class TestConstantFolding:
+    def test_folds_arithmetic(self):
+        m = Module("m")
+        fb = FunctionBuilder(m.function("main", [], VT.I64))
+        t = fb.binop("add", 2, 3, VT.I64)
+        t2 = fb.binop("mul", t, 4, VT.I64)  # needs propagation first
+        fb.ret(t2)
+        fn = m.functions["main"]
+        assert constant_fold(fn) == 1
+        copy_propagate(fn)
+        assert constant_fold(fn) == 1
+        # t2 is now a constant 20.
+        consts = [
+            i for _, _, i in fn.instructions()
+            if isinstance(i, Const) and i.value == 20
+        ]
+        assert consts
+
+    def test_division_by_zero_not_folded(self):
+        m = Module("m")
+        fb = FunctionBuilder(m.function("main", [], VT.I64))
+        fb.binop("div", 1, 0, VT.I64)
+        fb.ret(0)
+        assert constant_fold(m.functions["main"]) == 0
+
+    def test_float_semantics_preserved(self):
+        m = Module("m")
+        fb = FunctionBuilder(m.function("main", [], VT.I64))
+        t = fb.binop("div", 1.0, 4.0, VT.F64)
+        r = fb.unop("f2i", fb.binop("mul", t, 100.0, VT.F64), VT.I64)
+        fb.syscall("print", [r])
+        fb.ret(0)
+        m.entry = "main"
+        optimize_module(m)
+        validate_module(m)
+        out, _, _ = run_to_completion(m)
+        assert out == [25]
+
+
+class TestDeadCodeAndBranches:
+    def test_dead_defs_removed(self):
+        m = Module("m")
+        fb = FunctionBuilder(m.function("main", [], VT.I64))
+        fb.local("unused", VT.I64, init=5)
+        fb.binop("mul", "unused", 2, VT.I64)  # temp also unused
+        fb.ret(0)
+        fn = m.functions["main"]
+        before = _count_instrs(fn)
+        removed = eliminate_dead_code(fn)
+        assert removed >= 2
+        assert _count_instrs(fn) == before - removed
+
+    def test_address_taken_kept(self):
+        m = Module("m")
+        fb = FunctionBuilder(m.function("main", [], VT.I64))
+        fb.local("cell", VT.I64, init=7)
+        fb.addr_of("cell")  # value escapes; init must stay
+        fb.ret(0)
+        fn = m.functions["main"]
+        eliminate_dead_code(fn)
+        consts = [i for _, _, i in fn.instructions() if isinstance(i, Const)]
+        assert any(i.dst == "cell" for i in consts)
+
+    def test_constant_branch_simplified_and_unreachable_removed(self):
+        m = Module("m")
+        fb = FunctionBuilder(m.function("main", [], VT.I64))
+        c = fb.binop("lt", 1, 2, VT.I64)  # constant true
+
+        def then_fn():
+            fb.syscall("print", [1])
+
+        def else_fn():
+            fb.syscall("print", [2])
+
+        fb.if_then_else(c, then_fn, else_fn)
+        fb.ret(0)
+        m.entry = "main"
+        fn = m.functions["main"]
+        totals = optimize_function(fn)
+        assert totals["branches"] >= 1
+        assert totals["unreachable"] >= 1
+        validate_module(m)
+        out, _, _ = run_to_completion(m)
+        assert out == [1]
+
+
+class TestEndToEndEquivalence:
+    @pytest.mark.parametrize("name", ["is", "cg", "ep", "verus"])
+    def test_optimized_workloads_identical(self, name):
+        plain = build_workload(name, "A", threads=2, scale=0.01)
+        ref, ref_code, _ = run_to_completion(plain)
+
+        optimized = build_workload(name, "A", threads=2, scale=0.01)
+        out, code, _ = run_to_completion(
+            optimized, toolchain=Toolchain(opt_level=2)
+        )
+        assert out == ref
+        assert code == ref_code
+
+    def test_optimizer_shrinks_redundant_code(self):
+        def redundant_module():
+            m = Module("red")
+            fb = FunctionBuilder(m.function("main", [], VT.I64))
+            # A chain of constant arithmetic plus dead temporaries.
+            t = fb.binop("add", 10, 20, VT.I64)
+            t = fb.binop("mul", t, 2, VT.I64)
+            fb.binop("sub", t, 1, VT.I64)  # dead
+            fb.local("never_read", VT.I64, init=99)
+            fb.syscall("print", [t])
+            fb.ret(0)
+            m.entry = "main"
+            return m
+
+        plain = redundant_module()
+        opt = redundant_module()
+        optimize_module(opt)
+        validate_module(opt)
+        plain_n = sum(_count_instrs(f) for f in plain.functions.values())
+        opt_n = sum(_count_instrs(f) for f in opt.functions.values())
+        assert opt_n < plain_n
+        out, _, _ = run_to_completion(opt)
+        assert out == [60]
+
+    def test_workloads_already_tight(self):
+        """The hand-written workloads carry no removable redundancy —
+        optimisation must not change their instruction counts by much."""
+        plain = build_workload("is", "A", threads=1, scale=0.01)
+        opt = build_workload("is", "A", threads=1, scale=0.01)
+        optimize_module(opt)
+        plain_n = sum(_count_instrs(f) for f in plain.functions.values())
+        opt_n = sum(_count_instrs(f) for f in opt.functions.values())
+        assert opt_n <= plain_n
+
+    def test_optimized_migration_still_safe(self):
+        module = build_workload("ep", "A", threads=2, scale=0.01)
+        ref, _, _ = run_to_completion(
+            build_workload("ep", "A", threads=2, scale=0.01),
+            toolchain=Toolchain(opt_level=2),
+        )
+        out, code, _ = run_to_completion(
+            module, toolchain=Toolchain(opt_level=2), migrate_at=4
+        )
+        assert out == ref
+        assert code == 0
+
+    def test_bad_opt_level_rejected(self):
+        with pytest.raises(ValueError):
+            Toolchain(opt_level=3)
+
+
+class TestCopyPropagation:
+    def test_mov_chain_collapsed(self):
+        m = Module("m")
+        fb = FunctionBuilder(m.function("main", [], VT.I64))
+        a = fb.local("a", VT.I64, init=9)
+        b = fb.local("b", VT.I64)
+        fb.assign(b, a)
+        c = fb.local("c", VT.I64)
+        fb.assign(c, b)
+        fb.syscall("print", [c])
+        fb.ret(0)
+        m.entry = "main"
+        fn = m.functions["main"]
+        copy_propagate(fn)
+        # The print argument became the literal 9.
+        syscalls = [
+            i for _, _, i in fn.instructions() if getattr(i, "name", "") == "print"
+        ]
+        assert syscalls[0].args == [9]
+
+    def test_redefinition_invalidates(self):
+        m = Module("m")
+        fb = FunctionBuilder(m.function("main", [], VT.I64))
+        a = fb.local("a", VT.I64, init=1)
+        b = fb.local("b", VT.I64)
+        fb.assign(b, a)  # b -> 1
+        fb.assign(a, 2)  # redefinition must not leak into b's users
+        fb.syscall("print", [b])
+        fb.ret(0)
+        m.entry = "main"
+        optimize_module(m)
+        validate_module(m)
+        out, _, _ = run_to_completion(m)
+        assert out == [1]

@@ -1,0 +1,18 @@
+"""The README's quickstart snippet must actually run."""
+
+import pathlib
+import re
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_quickstart_snippet_executes():
+    text = (ROOT / "README.md").read_text()
+    blocks = re.findall(r"```python\n(.*?)```", text, flags=re.S)
+    assert blocks, "README has no python code block"
+    snippet = blocks[0]
+    namespace = {}
+    exec(compile(snippet, "README.md:quickstart", "exec"), namespace)
+    process = namespace["process"]
+    assert process.exit_code == 0
+    assert process.output[-1] == 1  # the workload verified itself

@@ -1,0 +1,136 @@
+"""Unit tests for address space, heap, and user stacks."""
+
+import pytest
+
+from repro.linker.layout import VirtualMemoryMap
+from repro.runtime.address_space import AddressSpace, SegfaultError
+from repro.runtime.heap import HeapAllocator, OutOfMemoryError
+from repro.runtime.stack import UserStack
+
+
+class TestAddressSpace:
+    def test_read_write(self):
+        space = AddressSpace()
+        space.write(0x1000, 42)
+        assert space.read(0x1000) == 42
+
+    def test_zero_fill(self):
+        assert AddressSpace().read(0x2000) == 0
+
+    def test_map_region_and_lookup(self):
+        space = AddressSpace()
+        vma = space.map_region(0x1000, 0x1000, "data")
+        assert space.vma_at(0x1800) is vma
+        assert space.vma_at(0x2000) is None
+
+    def test_overlap_rejected(self):
+        space = AddressSpace()
+        space.map_region(0x1000, 0x1000, "a")
+        with pytest.raises(ValueError, match="overlaps"):
+            space.map_region(0x1800, 0x1000, "b")
+
+    def test_checked_access(self):
+        space = AddressSpace()
+        space.map_region(0x1000, 0x1000, "rw")
+        space.map_region(0x3000, 0x1000, "ro", writable=False)
+        space.write_checked(0x1000, 7)
+        assert space.read_checked(0x1000) == 7
+        with pytest.raises(SegfaultError):
+            space.write_checked(0x3000, 1)
+        with pytest.raises(SegfaultError):
+            space.read_checked(0x9000)
+
+    def test_aliased_pages(self):
+        space = AddressSpace()
+        space.map_region(0x1000, 0x2000, "text", aliased=True)
+        pages = space.aliased_pages()
+        assert 1 in pages and 2 in pages and 0 not in pages
+
+    def test_bulk_words(self):
+        space = AddressSpace()
+        space.write_words(0x100, [1, 2, 3])
+        assert space.read_words(0x100, 3) == [1, 2, 3]
+        space.write_words(0x200, [9, 9], stride=4)
+        assert space.read(0x204) == 9
+
+
+class TestHeap:
+    def _heap(self):
+        return HeapAllocator(AddressSpace(VirtualMemoryMap()))
+
+    def test_alloc_returns_distinct_blocks(self):
+        heap = self._heap()
+        a = heap.alloc(100)
+        b = heap.alloc(100)
+        assert abs(a - b) >= 100
+
+    def test_free_and_reuse(self):
+        heap = self._heap()
+        a = heap.alloc(64)
+        heap.alloc(64)  # hold the brk open so the free block is reusable
+        heap.free(a)
+        c = heap.alloc(64)
+        assert c == a
+
+    def test_free_list_coalesces(self):
+        heap = self._heap()
+        a = heap.alloc(64)
+        b = heap.alloc(64)
+        heap.alloc(64)  # guard
+        heap.free(a)
+        heap.free(b)
+        big = heap.alloc(128)
+        assert big == a
+
+    def test_trailing_free_returns_to_brk(self):
+        heap = self._heap()
+        a = heap.alloc(64)
+        brk_after = heap.brk
+        heap.free(a)
+        assert heap.brk < brk_after
+
+    def test_double_free_rejected(self):
+        heap = self._heap()
+        a = heap.alloc(32)
+        heap.free(a)
+        with pytest.raises(ValueError):
+            heap.free(a)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            self._heap().alloc(0)
+
+    def test_oom(self):
+        heap = self._heap()
+        with pytest.raises(OutOfMemoryError):
+            heap.alloc(heap.limit - heap.base + 16)
+
+    def test_accounting(self):
+        heap = self._heap()
+        heap.alloc(100)
+        assert heap.allocated_bytes() >= 100
+
+
+class TestUserStack:
+    def test_halves(self):
+        stack = UserStack(0x1000, 0x3000)
+        assert stack.top == 0x3000
+        assert stack.other_top == 0x2000
+        stack.switch_halves()
+        assert stack.top == 0x2000
+        assert stack.other_top == 0x3000
+
+    def test_active_bounds(self):
+        stack = UserStack(0x1000, 0x3000)
+        assert stack.active_bounds() == (0x2000, 0x3000)
+        stack.switch_halves()
+        assert stack.active_bounds() == (0x1000, 0x2000)
+
+    def test_contains(self):
+        stack = UserStack(0x1000, 0x3000)
+        assert stack.contains(0x1500)
+        assert not stack.contains(0x3000)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            UserStack(0x1000, 0x1000)

@@ -1,0 +1,88 @@
+"""Property tests on the shared IR operator semantics (C fidelity)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.semantics import FLOAT_BIN, INT_BIN, apply_unop, truncdiv
+
+nonzero = st.integers(min_value=-10**12, max_value=10**12).filter(lambda x: x != 0)
+ints = st.integers(min_value=-10**12, max_value=10**12)
+
+
+class TestTruncatingDivision:
+    @given(ints, nonzero)
+    def test_c_division_identity(self, a, b):
+        """C guarantees (a/b)*b + a%b == a with truncation toward zero."""
+        q = truncdiv(a, b)
+        r = INT_BIN["mod"](a, b)
+        assert q * b + r == a
+
+    @given(ints, nonzero)
+    def test_remainder_sign_follows_dividend(self, a, b):
+        r = INT_BIN["mod"](a, b)
+        if r != 0:
+            assert (r > 0) == (a > 0)
+
+    @given(ints, nonzero)
+    def test_truncation_toward_zero(self, a, b):
+        q = truncdiv(a, b)
+        assert abs(q) == abs(a) // abs(b)
+
+    def test_known_cases(self):
+        assert truncdiv(-7, 2) == -3  # Python's // gives -4
+        assert INT_BIN["mod"](-7, 2) == -1
+        assert truncdiv(7, -2) == -3
+        assert INT_BIN["mod"](7, -2) == 1
+
+
+class TestShifts:
+    @given(st.integers(min_value=0, max_value=2**63 - 1),
+           st.integers(min_value=0, max_value=63))
+    def test_shl_masks_to_64_bits(self, a, s):
+        assert INT_BIN["shl"](a, s) == (a << s) & 0xFFFFFFFFFFFFFFFF
+
+    def test_shl_never_bignum(self):
+        assert INT_BIN["shl"](1, 100) < 2**64
+
+
+class TestComparisons:
+    @given(ints, ints)
+    def test_comparisons_return_0_or_1(self, a, b):
+        for op in ("eq", "ne", "lt", "le", "gt", "ge"):
+            assert INT_BIN[op](a, b) in (0, 1)
+
+    @given(ints, ints)
+    def test_trichotomy(self, a, b):
+        assert INT_BIN["lt"](a, b) + INT_BIN["eq"](a, b) + INT_BIN["gt"](a, b) == 1
+
+
+class TestUnops:
+    @given(st.floats(min_value=0, max_value=1e12, allow_nan=False))
+    def test_sqrt_squares_back(self, x):
+        root = apply_unop("sqrt", x)
+        assert abs(root * root - x) <= max(1e-6 * x, 1e-9)
+
+    @given(ints)
+    def test_not_is_involution(self, a):
+        assert apply_unop("not", apply_unop("not", a)) == a
+
+    @given(st.integers(min_value=-2**52, max_value=2**52))
+    def test_i2f_f2i_round_trip(self, a):
+        assert apply_unop("f2i", apply_unop("i2f", a)) == a
+
+    def test_unknown_op_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            apply_unop("bswap", 1)
+
+
+class TestFloatTable:
+    def test_float_div_is_true_division(self):
+        assert FLOAT_BIN["div"](1.0, 4.0) == 0.25
+
+    def test_float_mod_zero_divisor_defined(self):
+        assert FLOAT_BIN["mod"](5.0, 0.0) == 0.0
+
+    def test_int_table_untouched_by_float_overrides(self):
+        assert INT_BIN["div"](1, 4) == 0

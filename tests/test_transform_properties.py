@@ -1,0 +1,130 @@
+"""Randomised end-to-end stress of the stack transformation.
+
+Hypothesis generates programs with random call-chain depth, random
+local counts (some address-taken, some FP), random stack buffers with
+pointer walks, and random work placement; every program must produce
+the same output with and without a mid-run cross-ISA migration —
+exercising frame rewriting, callee-saved walks, pointer fix-up and
+return-address mapping across randomly shaped stacks.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ir import FunctionBuilder, Module
+from repro.isa.types import ValueType as VT
+
+from tests.helpers import X86, run_to_completion
+
+
+@st.composite
+def program_shapes(draw):
+    depth = draw(st.integers(min_value=1, max_value=6))
+    levels = []
+    for _ in range(depth):
+        levels.append(
+            {
+                "locals": draw(st.integers(min_value=0, max_value=6)),
+                "fp_locals": draw(st.integers(min_value=0, max_value=3)),
+                "buffer_words": draw(st.integers(min_value=0, max_value=6)),
+                "addr_taken": draw(st.booleans()),
+                "work": draw(st.booleans()),
+                "mult": draw(st.integers(min_value=-7, max_value=7)),
+            }
+        )
+    return levels
+
+
+def build_program(levels):
+    module = Module("hypo")
+    depth = len(levels)
+    for index in range(depth - 1, -1, -1):
+        spec = levels[index]
+        fn = module.function(f"level{index}", [("x", VT.I64)], VT.I64)
+        fb = FunctionBuilder(fn)
+        acc = fb.local("acc", VT.I64, init=spec["mult"])
+
+        for j in range(spec["locals"]):
+            fb.local(f"k{j}", VT.I64, init=j * 3 + 1)
+        for j in range(spec["fp_locals"]):
+            fb.local(f"f{j}", VT.F64, init=float(j) + 0.5)
+        if spec["addr_taken"]:
+            fb.local("cell", VT.I64, init=11)
+            p = fb.addr_of("cell")
+            fb.store(p, 0, fb.binop("add", fb.load(p, 0, VT.I64), "x", VT.I64), VT.I64)
+        buf = None
+        if spec["buffer_words"]:
+            buf = fb.stack_alloc(8 * spec["buffer_words"], "buf")
+            cursor = fb.local("cursor", VT.PTR)
+            fb.assign(cursor, buf)
+            with fb.for_range("bi", 0, spec["buffer_words"]) as bi:
+                fb.store(cursor, 0, fb.binop("mul", bi, 7, VT.I64), VT.I64)
+                fb.binop_into(cursor, "add", cursor, 8, VT.PTR)
+        if spec["work"]:
+            fb.work(60_000_000, "int_alu")
+
+        if index < depth - 1:
+            sub = fb.call(
+                f"level{index + 1}", [fb.binop("add", "x", 1, VT.I64)], VT.I64
+            )
+        else:
+            sub = fb.binop("mul", "x", 2, VT.I64)
+        fb.binop_into(acc, "add", acc, sub, VT.I64)
+        # Fold every class of state into the result so corruption of any
+        # live value is visible in the output.
+        for j in range(spec["locals"]):
+            fb.binop_into(acc, "xor", acc, f"k{j}", VT.I64)
+        for j in range(spec["fp_locals"]):
+            fb.binop_into(
+                acc, "add", acc, fb.unop("f2i", f"f{j}", VT.I64), VT.I64
+            )
+        if spec["addr_taken"]:
+            fb.binop_into(
+                acc, "add", acc, fb.load(fb.addr_of("cell"), 0, VT.I64), VT.I64
+            )
+        if spec["buffer_words"]:
+            with fb.for_range("bo", 0, spec["buffer_words"]) as bo:
+                off = fb.binop("mul", bo, 8, VT.I64)
+                fb.binop_into(
+                    acc, "add", acc,
+                    fb.load(fb.binop("add", buf, off, VT.I64), 0, VT.I64),
+                    VT.I64,
+                )
+        fb.ret(acc)
+
+    main = module.function("main", [], VT.I64)
+    fb = FunctionBuilder(main)
+    result = fb.call("level0", [3], VT.I64)
+    fb.syscall("print", [result])
+    fb.ret(0)
+    module.entry = "main"
+    return module
+
+
+@given(program_shapes(), st.integers(min_value=1, max_value=5))
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_random_programs_migrate_safely(levels, migrate_at):
+    reference, ref_code, _ = run_to_completion(build_program(levels), start=X86)
+    migrated, code, system = run_to_completion(
+        build_program(levels), start=X86, migrate_at=migrate_at
+    )
+    assert migrated == reference
+    assert code == ref_code
+
+
+@given(program_shapes())
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_random_programs_isa_independent(levels):
+    from tests.helpers import ARM
+
+    out_x86, _, _ = run_to_completion(build_program(levels), start=X86)
+    out_arm, _, _ = run_to_completion(build_program(levels), start=ARM)
+    assert out_x86 == out_arm
