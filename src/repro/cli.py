@@ -63,6 +63,26 @@ def build_parser() -> argparse.ArgumentParser:
     sched.add_argument("--sets", type=int, default=3)
     sched.add_argument("--jobs", type=int, default=40)
     sched.add_argument("--seed", type=int, default=1200)
+
+    faults = sub.add_parser(
+        "faults", help="fault injection: crash a node, compare recovery")
+    faults.add_argument("--pattern", default="sustained",
+                        choices=("sustained", "periodic"))
+    faults.add_argument("--jobs", type=int, default=24)
+    faults.add_argument("--seed", type=int, default=1200)
+    faults.add_argument("--crash", default="x86", choices=("x86", "arm"),
+                        help="which node dies")
+    faults.add_argument("--crash-at", type=float, default=None, metavar="T",
+                        help="crash time in seconds (default: 40%% of the "
+                        "fault-free makespan)")
+    faults.add_argument("--repair-after", type=float, default=None,
+                        metavar="T", help="repair delay in seconds "
+                        "(default: 30%% of the fault-free makespan)")
+    faults.add_argument("--permanent", action="store_true",
+                        help="the node never comes back")
+    faults.add_argument("--checkpoint-interval", type=float, default=60.0)
+    faults.add_argument("--trace", action="store_true",
+                        help="print the fault timelines")
     return parser
 
 
@@ -258,6 +278,90 @@ def cmd_schedule(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    from repro.datacenter import (
+        ClusterSimulator,
+        make_policy,
+        periodic_waves,
+        sustained_backfill,
+    )
+    from repro.faults import (
+        CheckpointRestart,
+        EvacuateLive,
+        FailStop,
+        render_fault_timeline,
+        render_recovery_comparison,
+        single_crash,
+    )
+    from repro.machine import make_xeon_e5_1650v2, make_xgene1
+    from repro.sim.rng import DeterministicRng
+
+    if args.checkpoint_interval <= 0:
+        print("error: --checkpoint-interval must be positive")
+        return 2
+    if args.crash_at is not None and args.crash_at < 0:
+        print("error: --crash-at must be non-negative")
+        return 2
+    if args.repair_after is not None and args.repair_after <= 0:
+        print("error: --repair-after must be positive")
+        return 2
+
+    def machines():
+        return [make_xgene1("arm"), make_xeon_e5_1650v2("x86")]
+
+    def run(faults=None, recovery=None):
+        sim = ClusterSimulator(
+            machines(), make_policy("dynamic-balanced"),
+            faults=faults, recovery=recovery,
+        )
+        if args.pattern == "sustained":
+            specs, conc = sustained_backfill(
+                DeterministicRng(args.seed), args.jobs, 6
+            )
+            return sim.run_sustained(specs, conc)
+        return sim.run_periodic(periodic_waves(DeterministicRng(args.seed)))
+
+    fault_free = run()
+    if args.crash_at is not None:
+        crash_at = args.crash_at
+    elif args.pattern == "periodic":
+        # A fraction of the makespan often falls into an idle gap
+        # between waves; crash while the cluster is provably busy.
+        waves = sorted({t for t, _ in periodic_waves(DeterministicRng(args.seed))})
+        crash_at = waves[len(waves) // 2] + 5.0
+    else:
+        crash_at = fault_free.makespan * 0.4
+    repair_after = (
+        args.repair_after if args.repair_after is not None
+        else fault_free.makespan * 0.3
+    )
+    schedule = single_crash(
+        crash_at, args.crash,
+        repair_seconds=repair_after, permanent=args.permanent,
+    )
+    strategies = {
+        "evacuate-live": EvacuateLive(),
+        "checkpoint-restart": CheckpointRestart(args.checkpoint_interval),
+        "fail-stop": FailStop(),
+    }
+    results = {"fault-free": fault_free}
+    for name, recovery in strategies.items():
+        results[name] = run(faults=schedule, recovery=recovery)
+
+    crash_desc = (
+        f"{args.crash} crash at t={crash_at:.0f}s, "
+        + ("permanent" if args.permanent else f"repair after {repair_after:.0f}s")
+    )
+    print(render_recovery_comparison(
+        results, f"{args.pattern} workload under failure ({crash_desc})"
+    ))
+    if args.trace:
+        for name in strategies:
+            print()
+            print(render_fault_timeline(results[name], f"{name} timeline"))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -267,6 +371,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "gaps": cmd_gaps,
         "dump": cmd_dump,
         "schedule": cmd_schedule,
+        "faults": cmd_faults,
     }[args.command]
     try:
         return handler(args)

@@ -1,22 +1,37 @@
-"""The cluster simulator: processor-sharing DES with migration.
+"""The cluster simulator: processor-sharing DES with migration and
+fault injection.
 
 Between events every machine runs its resident jobs under processor
 sharing (oversubscription stretches everyone equally); events are job
-arrivals, completions, and policy-driven migrations.  Energy integrates
-each machine's *internal* (on-package) power between events, as the
-paper reports ("we only report internal power readings"), with the
-McPAT FinFET projection optionally applied to the ARM board.
+arrivals, completions, policy-driven migrations — and, when a
+:class:`~repro.faults.inject.FaultSchedule` is attached, node crashes,
+repairs, interconnect degradation windows and network partitions.
+Recovery from a crash is delegated to a
+:class:`~repro.faults.recovery.RecoveryPolicy` (evacuate via live
+migration, checkpoint/restart, or fail-stop).  With no schedule the
+fault machinery is inert and every number is bit-identical to the
+fault-free simulator.
+
+Energy integrates each machine's *internal* (on-package) power between
+events, as the paper reports ("we only report internal power
+readings"), with the McPAT FinFET projection optionally applied to the
+ARM board.  A crashed node draws no power until repaired.
 """
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+import heapq
+import itertools
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.datacenter.energy import RunResult
 from repro.datacenter.job import Job, JobSpec, JobState, job_duration, migration_penalty
 from repro.datacenter.policies import SchedulingPolicy
 from repro.machine.machine import Machine
 from repro.machine.mcpat import project_finfet
+from repro.telemetry.faultlog import FaultLog
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.inject import FaultSchedule
+    from repro.faults.recovery import RecoveryPolicy
 
 DEFAULT_INTERCONNECT_BW = 64e9 / 8  # Dolphin PXH810
 
@@ -32,10 +47,15 @@ class MachineNode:
         self.power = power
         self.jobs: List[Job] = []
         self.energy_joules = 0.0
+        self.up = True  # flipped by NodeCrash/repair events
 
     @property
     def name(self) -> str:
         return self.machine.name
+
+    @property
+    def isa_name(self) -> str:
+        return self.machine.isa.name
 
     @property
     def threads_in_use(self) -> int:
@@ -66,16 +86,52 @@ class ClusterSimulator:
         policy: SchedulingPolicy,
         interconnect_bw: float = DEFAULT_INTERCONNECT_BW,
         project_arm_finfet: bool = True,
+        faults: Optional["FaultSchedule"] = None,
+        recovery: Optional["RecoveryPolicy"] = None,
     ):
         if not machines:
             raise ValueError("cluster needs at least one machine")
         self.nodes = [MachineNode(m, project_arm_finfet) for m in machines]
+        # Name -> node index: placement and migration lookups are O(1)
+        # instead of a linear scan per migration.
+        self._node_index: Dict[str, MachineNode] = {
+            n.name: n for n in self.nodes
+        }
+        if len(self._node_index) != len(self.nodes):
+            raise ValueError("machine names must be unique")
         self.policy = policy
         self.interconnect_bw = interconnect_bw
         self.now = 0.0
         self.migrations = 0
         self._durations: Dict[Tuple[JobSpec, str], float] = {}
         self.finished: List[Job] = []
+
+        # ---- fault machinery (inert when no schedule is attached) ----
+        self.recovery = recovery
+        if self.recovery is None and faults is not None:
+            from repro.faults.recovery import EvacuateLive
+
+            self.recovery = EvacuateLive()
+        if self.recovery is not None:
+            self.recovery.reset()
+        self.fault_log = FaultLog()
+        self._event_seq = itertools.count()
+        self._event_heap: List[Tuple[float, int, str, object]] = []
+        if faults is not None:
+            for event in faults:
+                self._push_event(event.time, event.kind, event)
+        self.parked: List[Tuple[Job, Optional[str]]] = []
+        self._crash_since: Dict[str, float] = {}
+        self._mttr_samples: List[float] = []
+        self._degradations: List[object] = []
+        self._partitions: List[Tuple[str, ...]] = []
+        self.fault_events = 0
+        self.jobs_evacuated = 0
+        self.jobs_restarted = 0
+        self.jobs_lost = 0
+        self.lost_work_seconds = 0.0
+        self.overhead_seconds = 0.0
+        self.busy_seconds = 0.0
 
     # --------------------------------------------------------- plumbing
 
@@ -85,17 +141,47 @@ class ClusterSimulator:
             self._durations[key] = job_duration(spec, node.machine)
         return self._durations[key]
 
+    # Public alias for the recovery policies.
+    duration_on = _duration
+
     def _node_of(self, job: Job) -> MachineNode:
-        for node in self.nodes:
-            if node.name == job.machine:
-                return node
-        raise KeyError(f"job {job} has no node")
+        node = self._node_index.get(job.machine)
+        if node is None:
+            raise KeyError(f"job {job} has no node")
+        return node
+
+    def live_nodes(self) -> List[MachineNode]:
+        return [n for n in self.nodes if n.up]
+
+    def reachable(self, a: str, b: str) -> bool:
+        """Can kernels on ``a`` and ``b`` exchange messages right now?"""
+        for island in self._partitions:
+            if (a in island) != (b in island):
+                return False
+        return True
+
+    def effective_bandwidth(self) -> float:
+        bw = self.interconnect_bw
+        for degradation in self._degradations:
+            bw *= degradation.bandwidth_factor
+        return bw
 
     def _start(self, job: Job, node: MachineNode) -> None:
         job.state = JobState.RUNNING
         job.machine = node.name
         job.started_at = self.now
         node.jobs.append(job)
+
+    # Public alias for the recovery policies.
+    start_job = _start
+
+    def _admit(self, job: Job) -> None:
+        """Place an arriving job, parking it if no node is up."""
+        live = self.live_nodes()
+        if not live:
+            self.park(job, None, reason="no node up at arrival")
+            return
+        self._start(job, self.policy.place(job, live))
 
     def _finish_time_of(self, job: Job, node: MachineNode) -> float:
         rate_seconds = self._duration(job.spec, node) * node.contention
@@ -106,11 +192,14 @@ class ClusterSimulator:
         if dt <= 0:
             return
         for node in self.nodes:
+            if not node.up:
+                continue  # powered off: no energy, no progress
             node.accrue_energy(dt)
             denom_base = node.contention
             for job in node.jobs:
                 demand = self._duration(job.spec, node) * denom_base
                 job.remaining_fraction -= dt / demand
+            self.busy_seconds += dt * len(node.jobs)
         self.now += dt
 
     def _collect_finished(self) -> List[Job]:
@@ -132,18 +221,26 @@ class ClusterSimulator:
     def _apply_policy_migrations(self) -> None:
         if not self.policy.dynamic:
             return
-        for job, dst in self.policy.rebalance(self.nodes):
+        for job, dst in self.policy.rebalance(self.live_nodes()):
             src = self._node_of(job)
             if src is dst:
                 continue
+            if self._partitions and not self.reachable(src.name, dst.name):
+                self.fault_log.record(
+                    self.now, "blocked", node=dst.name,
+                    detail=f"partition blocks {job.spec} "
+                    f"{src.name}->{dst.name}",
+                )
+                continue
             src.jobs.remove(job)
-            penalty = migration_penalty(job.spec, self.interconnect_bw)
+            penalty = migration_penalty(job.spec, self.effective_bandwidth())
             extra = penalty / self._duration(job.spec, dst)
             job.remaining_fraction = min(job.remaining_fraction + extra, 1.0)
             job.machine = dst.name
             job.migrations += 1
             dst.jobs.append(job)
             self.migrations += 1
+            self.overhead_seconds += penalty
 
     def _next_completion_dt(self) -> Optional[float]:
         best: Optional[float] = None
@@ -154,6 +251,138 @@ class ClusterSimulator:
                     best = t
         return best
 
+    # ------------------------------------------------- fault machinery
+
+    def _push_event(self, time: float, kind: str, payload: object) -> None:
+        heapq.heappush(
+            self._event_heap, (time, next(self._event_seq), kind, payload)
+        )
+
+    def _next_fault_dt(self) -> Optional[float]:
+        if not self._event_heap:
+            return None
+        return max(self._event_heap[0][0] - self.now, 0.0)
+
+    def _apply_due_faults(self) -> bool:
+        """Dispatch every fault event due at (or before) ``now``."""
+        applied = False
+        while self._event_heap and self._event_heap[0][0] <= self.now + 1e-9:
+            _, _, kind, payload = heapq.heappop(self._event_heap)
+            self._dispatch_fault(kind, payload)
+            applied = True
+        if applied and self.parked and self.recovery is not None:
+            self.recovery.try_unpark(self)
+        return applied
+
+    def _dispatch_fault(self, kind: str, event: object) -> None:
+        self.fault_events += 1
+        if kind == "crash":
+            self._apply_crash(event)
+        elif kind == "repair":
+            name = event if isinstance(event, str) else event.node
+            self._apply_repair(name)
+        elif kind == "degrade":
+            self._degradations.append(event)
+            self._push_event(self.now + event.duration, "degrade-end", event)
+            self.fault_log.record(
+                self.now, "degrade",
+                detail=f"bw x{event.bandwidth_factor:g}, "
+                f"lat x{event.latency_factor:g} for {event.duration:g}s",
+            )
+        elif kind == "degrade-end":
+            self._degradations.remove(event)
+            self.fault_log.record(self.now, "degrade-end")
+        elif kind == "partition":
+            island = tuple(event.island)
+            self._partitions.append(island)
+            self._push_event(self.now + event.duration, "heal", island)
+            self.fault_log.record(
+                self.now, "partition", detail=f"island {island}"
+            )
+        elif kind == "heal":
+            self._partitions.remove(event)
+            self.fault_log.record(self.now, "heal", detail=f"island {event}")
+        else:
+            raise ValueError(f"unknown fault event kind {kind!r}")
+
+    def _apply_crash(self, event) -> None:
+        node = self._node_index.get(event.node)
+        if node is None:
+            raise KeyError(f"fault schedule names unknown node {event.node!r}")
+        if not node.up:
+            self.fault_log.record(
+                self.now, "crash", node=node.name, detail="already down"
+            )
+            return
+        node.up = False
+        self._crash_since[node.name] = self.now
+        detail = (
+            "permanent"
+            if event.permanent
+            else f"repair in {event.repair_seconds:g}s"
+        )
+        self.fault_log.record(self.now, "crash", node=node.name, detail=detail)
+        victims = node.jobs
+        node.jobs = []
+        if not event.permanent:
+            self._push_event(
+                self.now + event.repair_seconds, "repair", node.name
+            )
+        if victims:
+            if self.recovery is not None:
+                self.recovery.on_crash(self, node, victims)
+            else:
+                for job in victims:
+                    self.lose_job(job)
+
+    def _apply_repair(self, name: str) -> None:
+        node = self._node_index[name]
+        if node.up:
+            return
+        node.up = True
+        crashed_at = self._crash_since.pop(name, None)
+        if crashed_at is not None:
+            self._mttr_samples.append(self.now - crashed_at)
+        self.fault_log.record(self.now, "repair", node=name)
+
+    def park(self, job: Job, required_isa: Optional[str], reason: str = "") -> None:
+        """Queue a job until a node satisfying ``required_isa`` is up."""
+        job.state = JobState.PENDING
+        job.machine = None
+        self.parked.append((job, required_isa))
+        detail = f"{job.spec}"
+        if required_isa:
+            detail += f" needs {required_isa}"
+        if reason:
+            detail += f" ({reason})"
+        self.fault_log.record(self.now, "park", detail=detail)
+
+    def lose_job(self, job: Job) -> None:
+        if job.state is JobState.RUNNING and job.started_at is not None:
+            # Work invested in a job that will never finish is not
+            # goodput.  (Parked jobs were already charged when their
+            # progress was rolled back.)
+            wasted = self.now - job.started_at
+            if wasted > 0.0:
+                job.lost_seconds += wasted
+                self.lost_work_seconds += wasted
+        job.state = JobState.FAILED
+        job.machine = None
+        self.jobs_lost += 1
+        self.fault_log.record(self.now, "lost", detail=f"{job.spec}")
+
+    def _abandon_parked(self) -> int:
+        """No event can ever free a parked job: count it lost."""
+        lost = len(self.parked)
+        for job, _ in self.parked:
+            self.lose_job(job)
+        self.parked = []
+        return lost
+
+    def _post_advance(self) -> None:
+        if self.recovery is not None:
+            self.recovery.note_progress(self)
+
     # ------------------------------------------------------ experiment
 
     def run_sustained(self, specs: List[JobSpec], concurrency: int) -> RunResult:
@@ -163,24 +392,39 @@ class ClusterSimulator:
         in_flight = 0
         for _ in range(min(concurrency, len(pending))):
             job = pending.pop(0)
-            self._start(job, self.policy.place(job, self.nodes))
+            self._admit(job)
             in_flight += 1
         self._apply_policy_migrations()
 
         while in_flight > 0:
-            dt = self._next_completion_dt()
-            if dt is None:
-                raise RuntimeError("jobs in flight but none progressing")
+            candidates = []
+            dt_done = self._next_completion_dt()
+            if dt_done is not None:
+                candidates.append(dt_done)
+            dt_fault = self._next_fault_dt()
+            if dt_fault is not None:
+                candidates.append(dt_fault)
+            if not candidates:
+                in_flight -= self._abandon_parked()
+                if in_flight > 0:
+                    raise RuntimeError("jobs in flight but none progressing")
+                break
+            dt = min(candidates)
             self._advance(dt)
+            self._post_advance()
             done = self._collect_finished()
             in_flight -= len(done)
-            for _ in done:
+            lost_before = self.jobs_lost
+            faulted = self._apply_due_faults()
+            lost = self.jobs_lost - lost_before
+            in_flight -= lost  # fail-stopped jobs leave the system too
+            for _ in range(len(done) + lost):
                 if pending:
                     job = pending.pop(0)
                     job.arrival = self.now
-                    self._start(job, self.policy.place(job, self.nodes))
+                    self._admit(job)
                     in_flight += 1
-            if done:
+            if done or faulted:
                 self._apply_policy_migrations()
         return self._result(len(queue))
 
@@ -192,7 +436,7 @@ class ClusterSimulator:
         )
         idx = 0
         total = len(schedule)
-        while idx < total or any(n.jobs for n in self.nodes):
+        while idx < total or any(n.jobs for n in self.nodes) or self.parked:
             next_arrival = schedule[idx].arrival if idx < total else None
             dt_done = self._next_completion_dt()
             candidates = []
@@ -200,21 +444,32 @@ class ClusterSimulator:
                 candidates.append(next_arrival - self.now)
             if dt_done is not None:
                 candidates.append(dt_done)
+            dt_fault = self._next_fault_dt()
+            if dt_fault is not None:
+                candidates.append(dt_fault)
             if not candidates:
+                self._abandon_parked()
                 break
             dt = max(min(candidates), 0.0)
             self._advance(dt)
+            self._post_advance()
             changed = bool(self._collect_finished())
+            if self._apply_due_faults():
+                changed = True
             while idx < total and schedule[idx].arrival <= self.now + 1e-9:
                 job = schedule[idx]
                 idx += 1
-                self._start(job, self.policy.place(job, self.nodes))
+                self._admit(job)
                 changed = True
             if changed:
                 self._apply_policy_migrations()
         return self._result(total)
 
     def _result(self, job_count: int) -> RunResult:
+        useful = max(
+            self.busy_seconds - self.lost_work_seconds - self.overhead_seconds,
+            0.0,
+        )
         return RunResult(
             policy=self.policy.name,
             makespan=self.now,
@@ -226,4 +481,18 @@ class ClusterSimulator:
                 if self.finished
                 else 0.0
             ),
+            fault_events=self.fault_events,
+            jobs_evacuated=self.jobs_evacuated,
+            jobs_restarted=self.jobs_restarted,
+            jobs_lost=self.jobs_lost,
+            lost_work_seconds=self.lost_work_seconds,
+            overhead_seconds=self.overhead_seconds,
+            busy_seconds=self.busy_seconds,
+            mttr=(
+                sum(self._mttr_samples) / len(self._mttr_samples)
+                if self._mttr_samples
+                else 0.0
+            ),
+            goodput=useful / self.now if self.now > 0 else 0.0,
+            fault_trace=list(self.fault_log.entries),
         )

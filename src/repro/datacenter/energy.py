@@ -6,7 +6,11 @@ from typing import Dict, List
 
 @dataclass
 class RunResult:
-    """One (job set, policy) simulation outcome."""
+    """One (job set, policy) simulation outcome.
+
+    The fault fields default to a fault-free run, so results from the
+    zero-fault path compare equal to pre-fault-subsystem results.
+    """
 
     policy: str
     makespan: float
@@ -14,6 +18,17 @@ class RunResult:
     migrations: int
     job_count: int
     mean_response: float = 0.0
+    # ---- fault injection & recovery (repro.faults) ----
+    fault_events: int = 0
+    jobs_evacuated: int = 0
+    jobs_restarted: int = 0
+    jobs_lost: int = 0
+    lost_work_seconds: float = 0.0  # progress rolled back by C/R
+    overhead_seconds: float = 0.0  # migration penalties + restore downtime
+    busy_seconds: float = 0.0  # summed wall seconds jobs spent running
+    mttr: float = 0.0  # mean crash-to-repair time over repaired nodes
+    goodput: float = 0.0  # useful seconds per wall second
+    fault_trace: List = field(default_factory=list)  # FaultLogEntry list
 
     @property
     def total_energy(self) -> float:

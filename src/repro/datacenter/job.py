@@ -52,6 +52,7 @@ class JobState(enum.Enum):
     PENDING = "pending"
     RUNNING = "running"
     DONE = "done"
+    FAILED = "failed"  # lost to a crash with no recovery path
 
 
 class Job:
@@ -72,6 +73,10 @@ class Job:
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
         self.migrations = 0
+        # Fault-recovery accounting (repro.faults).
+        self.evacuations = 0  # live-migration drains off a dying node
+        self.restarts = 0  # checkpoint/restart recoveries
+        self.lost_seconds = 0.0  # progress discarded by C/R rollbacks
 
     @property
     def threads(self) -> int:

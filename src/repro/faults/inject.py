@@ -1,0 +1,149 @@
+"""Fault injection: the timed fault schedule and the lossy messaging
+layer.
+
+:class:`FaultSchedule` is the timeline the cluster simulator consumes —
+crash/repair/degradation/partition events interleaved with job arrivals
+and completions in the event loop.
+
+:class:`FaultyMessagingLayer` wraps the inter-kernel
+:class:`~repro.kernel.messages.MessagingLayer` with per-message loss and
+corruption.  A lost or corrupted message charges an ACK timeout plus
+exponential backoff before the retransmission; the wire cost of every
+attempt (including failed ones) is charged to the interconnect, exactly
+as a real reliable-delivery layer would burn bandwidth.  With both
+probabilities at zero it takes the wrapped layer's exact code path, so
+all seed numbers are unchanged.
+"""
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.kernel.messages import MessagingLayer
+from repro.sim.rng import DeterministicRng
+
+
+class DeliveryTimeout(RuntimeError):
+    """A message was lost on every attempt the retry policy allows."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Reliable-delivery knobs charged on every lost/corrupted message."""
+
+    max_retries: int = 4
+    ack_timeout_s: float = 200e-6  # sender waits this long before resending
+    backoff_base_s: float = 100e-6  # doubled on every further attempt
+
+
+class FaultSchedule:
+    """An immutable, time-sorted sequence of fault events.
+
+    Events are anything with a ``kind`` attribute and a ``time`` field
+    (see :mod:`repro.faults.models`).  The schedule itself is never
+    mutated by a run — the simulator keeps its own cursor — so one
+    schedule can seed many runs (the determinism tests rely on this).
+    """
+
+    def __init__(self, events: Iterable = ()):
+        self.events: Tuple = tuple(sorted(events, key=lambda e: e.time))
+
+    @property
+    def empty(self) -> bool:
+        return not self.events
+
+    def merged(self, other: "FaultSchedule") -> "FaultSchedule":
+        return FaultSchedule(self.events + other.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator:
+        return iter(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __repr__(self) -> str:
+        return f"FaultSchedule({list(self.events)!r})"
+
+
+class FaultyMessagingLayer(MessagingLayer):
+    """A lossy wrapper over an existing :class:`MessagingLayer`.
+
+    Shares the wrapped layer's interconnect and per-kind accounting, so
+    the rest of the kernel stack observes one coherent set of counters.
+    ``rpc`` and ``broadcast`` are inherited and compose with the lossy
+    ``send`` automatically.
+    """
+
+    def __init__(
+        self,
+        inner: MessagingLayer,
+        rng: DeterministicRng,
+        loss_probability: float = 0.0,
+        corruption_probability: float = 0.0,
+        retry: RetryPolicy = RetryPolicy(),
+        stream: str = "faults.messages",
+    ):
+        if not 0.0 <= loss_probability <= 1.0:
+            raise ValueError(f"loss probability {loss_probability} not in [0, 1]")
+        if not 0.0 <= corruption_probability <= 1.0:
+            raise ValueError(
+                f"corruption probability {corruption_probability} not in [0, 1]"
+            )
+        super().__init__(inner.interconnect)
+        self.inner = inner
+        # Alias the wrapped layer's counters: wire traffic (retries
+        # included) shows up in one place regardless of which handle
+        # the caller holds.
+        self.counts = inner.counts
+        self.bytes_by_kind = inner.bytes_by_kind
+        self.rng = rng
+        self.loss_probability = loss_probability
+        self.corruption_probability = corruption_probability
+        self.retry = retry
+        self.stream_name = stream
+        self.dropped = 0
+        self.corrupted = 0
+        self.retries = 0
+
+    def send(self, kind: str, src: str, dst: str, payload_bytes: int) -> float:
+        total = MessagingLayer.send(self, kind, src, dst, payload_bytes)
+        if src == dst:
+            return total  # local invocation, nothing can be lost
+        if self.loss_probability <= 0.0 and self.corruption_probability <= 0.0:
+            return total  # lossless default: bit-identical to the seed path
+        stream = self.rng.stream(self.stream_name)
+        attempt = 0
+        while True:
+            lost = stream.random() < self.loss_probability
+            corrupt = (
+                not lost
+                and self.corruption_probability > 0.0
+                and stream.random() < self.corruption_probability
+            )
+            if not lost and not corrupt:
+                return total
+            if lost:
+                self.dropped += 1
+            else:
+                self.corrupted += 1  # checksum failure: treat as a loss
+            if attempt >= self.retry.max_retries:
+                raise DeliveryTimeout(
+                    f"{kind} {src}->{dst} undeliverable after "
+                    f"{attempt + 1} attempts"
+                )
+            total += (
+                self.retry.ack_timeout_s
+                + self.retry.backoff_base_s * (2 ** attempt)
+            )
+            total += MessagingLayer.send(self, kind, src, dst, payload_bytes)
+            self.retries += 1
+            attempt += 1
+
+    def fault_stats(self) -> dict:
+        return {
+            "dropped": self.dropped,
+            "corrupted": self.corrupted,
+            "retries": self.retries,
+        }

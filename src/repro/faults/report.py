@@ -1,0 +1,60 @@
+"""Fault-run observability: recovery comparisons and timelines.
+
+Renders the fault metrics the cluster simulator exports on
+:class:`~repro.datacenter.energy.RunResult` — goodput (useful seconds
+per wall second), MTTR, lost work, and the evacuated/restarted/lost job
+counts — in the harness's standard table format, plus the raw fault
+timeline for debugging a run.
+"""
+
+from typing import Dict, List
+
+from repro.analysis import Table
+from repro.datacenter.energy import RunResult
+
+
+def render_recovery_comparison(
+    results: Dict[str, RunResult],
+    title: str = "Recovery strategies under failure",
+) -> str:
+    """One row per recovery strategy, most informative columns first."""
+    table = Table(
+        title,
+        [
+            "strategy",
+            "makespan (s)",
+            "goodput",
+            "MTTR (s)",
+            "lost work (s)",
+            "overhead (s)",
+            "evac",
+            "restart",
+            "lost",
+        ],
+    )
+    for name, run in results.items():
+        table.add_row(
+            name,
+            f"{run.makespan:.1f}",
+            f"{run.goodput:.3f}",
+            f"{run.mttr:.1f}",
+            f"{run.lost_work_seconds:.1f}",
+            f"{run.overhead_seconds:.2f}",
+            run.jobs_evacuated,
+            run.jobs_restarted,
+            run.jobs_lost,
+        )
+    return table.render()
+
+
+def render_fault_timeline(run: RunResult, title: str = "fault timeline") -> str:
+    lines: List[str] = [title]
+    if not run.fault_trace:
+        lines.append("(no fault events)")
+    for entry in run.fault_trace:
+        lines.append(entry.format())
+    return "\n".join(lines)
+
+
+def goodput_summary(results: Dict[str, RunResult]) -> Dict[str, float]:
+    return {name: run.goodput for name, run in results.items()}

@@ -68,10 +68,22 @@ class MessagingLayer:
     def broadcast(
         self, kind: str, src: str, others, payload_bytes: int
     ) -> float:
-        """Send to every other kernel; returns the slowest arrival."""
+        """Send to every other kernel; returns completion time.
+
+        The copies fly concurrently, but the sender marshals each one
+        serially, so completion is the slowest arrival plus the
+        aggregate per-message sender CPU beyond the first copy (each
+        ``send`` already charges one).
+        """
         worst = 0.0
+        fanout = 0
         for dst in others:
-            worst = max(worst, self.send(kind, src, dst, payload_bytes))
+            t = self.send(kind, src, dst, payload_bytes)
+            if t > 0.0:
+                fanout += 1
+            worst = max(worst, t)
+        if fanout > 1:
+            worst += (fanout - 1) * self.interconnect.per_message_cpu_s
         return worst
 
     def stats(self) -> Dict[str, int]:

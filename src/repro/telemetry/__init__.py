@@ -5,6 +5,7 @@ Wires the machines' power sensors and load counters into 100 Hz
 Figure 11's traces and every energy integral in Figures 12-13.
 """
 
+from repro.telemetry.faultlog import FaultLog, FaultLogEntry
 from repro.telemetry.recorder import MachineTraces, PowerRecorder
 
-__all__ = ["PowerRecorder", "MachineTraces"]
+__all__ = ["PowerRecorder", "MachineTraces", "FaultLog", "FaultLogEntry"]

@@ -1,0 +1,71 @@
+"""Fault-event telemetry.
+
+Every fault the cluster simulator injects or recovers from is recorded
+as a :class:`FaultLogEntry` in a per-run :class:`FaultLog`.  The log is
+exported verbatim on the :class:`~repro.datacenter.energy.RunResult`
+(``fault_trace``) so benchmarks and the CLI can print a timeline and
+tests can assert exact recovery behaviour.
+
+Entries are frozen dataclasses and never embed process-global state
+(job ids, object reprs), so the same seed and fault schedule produce an
+identical trace run-to-run — the determinism guarantee the DES makes
+for every other output.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class FaultLogEntry:
+    """One timestamped fault or recovery action."""
+
+    time: float
+    kind: str  # crash | repair | degrade | degrade-end | partition | heal |
+    #            evacuate | restart | cross-isa-denied | park | blocked | lost
+    node: Optional[str] = None
+    detail: str = ""
+
+    def format(self) -> str:
+        where = f" {self.node}" if self.node else ""
+        tail = f": {self.detail}" if self.detail else ""
+        return f"t={self.time:10.3f}s  {self.kind:<17}{where}{tail}"
+
+
+class FaultLog:
+    """Ordered fault-event trace for one simulation run."""
+
+    def __init__(self):
+        self.entries: List[FaultLogEntry] = []
+
+    def record(
+        self,
+        time: float,
+        kind: str,
+        node: Optional[str] = None,
+        detail: str = "",
+    ) -> FaultLogEntry:
+        entry = FaultLogEntry(time, kind, node, detail)
+        self.entries.append(entry)
+        return entry
+
+    def by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for entry in self.entries:
+            counts[entry.kind] = counts.get(entry.kind, 0) + 1
+        return counts
+
+    def kinds(self) -> set:
+        return {entry.kind for entry in self.entries}
+
+    def format_trace(self, title: str = "fault trace") -> str:
+        lines = [title] + [e.format() for e in self.entries]
+        if not self.entries:
+            lines.append("(no fault events)")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)

@@ -61,3 +61,18 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "static-x86(2)" in out
         assert "dynamic-balanced" in out
+
+    def test_faults(self, capsys):
+        assert main(["faults", "--jobs", "12", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "evacuate-live" in out
+        assert "checkpoint-restart" in out
+        assert "goodput" in out
+        assert "crash" in out  # --trace prints the fault timeline
+
+    def test_faults_permanent_arm_crash(self, capsys):
+        assert main(
+            ["faults", "--jobs", "12", "--crash", "arm", "--permanent"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fail-stop" in out

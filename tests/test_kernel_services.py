@@ -16,7 +16,7 @@ from repro.runtime.address_space import AddressSpace
 
 from tests.helpers import simple_sum_module, tls_module
 
-A, B = "kernel-a", "kernel-b"
+A, B, C = "kernel-a", "kernel-b", "kernel-c"
 
 
 def _messaging():
@@ -42,8 +42,31 @@ class TestMessaging:
 
     def test_broadcast_max(self):
         msg = _messaging()
-        t = msg.broadcast("inv", A, [B, "kernel-c"], 32)
+        t = msg.broadcast("inv", A, [B, C], 32)
         assert t > 0
+
+    def test_broadcast_charges_aggregate_sender_cpu(self):
+        # Copies fly concurrently, but the sender marshals serially:
+        # completion is the slowest arrival plus one per-message CPU
+        # charge for every copy beyond the first.
+        one = _messaging().send("inv", A, B, 32)
+        msg = _messaging()
+        per_msg = msg.interconnect.per_message_cpu_s
+        assert msg.broadcast("inv", A, [B, C], 32) == pytest.approx(
+            one + per_msg
+        )
+        three = _messaging()
+        assert three.broadcast("inv", A, [B, C, "kernel-d"], 32) == (
+            pytest.approx(one + 2 * per_msg)
+        )
+
+    def test_broadcast_skips_local_copy_in_fanout(self):
+        one = _messaging().send("inv", A, B, 32)
+        msg = _messaging()
+        # The loopback copy is free and must not inflate the marshalling
+        # charge: fanout is 1, so no extra CPU term.
+        assert msg.broadcast("inv", A, [A, B], 32) == pytest.approx(one)
+        assert msg.broadcast("inv", A, [A], 32) == 0.0
 
 
 class TestDsm:
@@ -99,6 +122,39 @@ class TestDsm:
         assert cost > 0
         again, pages2 = dsm.ensure_range(B, 0, 4 * PAGE_SIZE, write=True)
         assert pages2 == 0 and again == 0.0
+
+    def test_ensure_range_write_invalidates_all_sharers(self):
+        dsm = self._dsm()
+        for page in range(3):
+            dsm.access(A, page * PAGE_SIZE, write=True)
+            dsm.access(B, page * PAGE_SIZE, write=False)
+            dsm.access(C, page * PAGE_SIZE, write=False)
+        inval0, epoch0 = dsm.stats.invalidations, dsm.epoch
+        cost, pages = dsm.ensure_range(C, 0, 3 * PAGE_SIZE, write=True)
+        assert pages == 3 and cost > 0
+        # Each page had two other sharers (A the owner, B a reader).
+        assert dsm.stats.invalidations == inval0 + 6
+        for page in range(3):
+            assert dsm.owner_of(page * PAGE_SIZE) == C
+        # Bulk pull is one residency change: a single epoch bump.
+        assert dsm.epoch == epoch0 + 1
+        # C now owns exclusively: its writes are free, A must re-fault.
+        assert dsm.access(C, 0, write=True) == 0.0
+        assert dsm.access(A, 0, write=False) > 0
+
+    def test_ensure_range_read_keeps_owner(self):
+        dsm = self._dsm()
+        for page in range(2):
+            dsm.access(A, page * PAGE_SIZE, write=True)
+        inval0 = dsm.stats.invalidations
+        cost, pages = dsm.ensure_range(B, 0, 2 * PAGE_SIZE, write=False)
+        assert pages == 2 and cost > 0
+        assert dsm.stats.invalidations == inval0
+        for page in range(2):
+            assert dsm.owner_of(page * PAGE_SIZE) == A
+        # Shared copy: B reads free, but a B write still faults.
+        assert dsm.access(B, 0, write=False) == 0.0
+        assert dsm.access(B, 0, write=True) > 0
 
     def test_residual_cleanup(self):
         dsm = self._dsm()
