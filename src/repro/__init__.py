@@ -48,6 +48,10 @@ def __getattr__(name):
         from repro.runtime.transform import StackTransformer
 
         return StackTransformer
+    if name == "InvariantViolation":
+        from repro.validate import InvariantViolation
+
+        return InvariantViolation
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -63,5 +67,6 @@ __all__ = [
     "ExecutionEngine",
     "EngineHooks",
     "StackTransformer",
+    "InvariantViolation",
     "__version__",
 ]

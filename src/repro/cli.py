@@ -33,6 +33,17 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Heterogeneous-ISA datacenter reproduction toolkit",
     )
+    parser.add_argument(
+        "--validate", action="store_true",
+        help="enable runtime invariant checking (DSM coherence, stack "
+        "transformation, cluster conservation); equivalent to "
+        "REPRO_VALIDATE=1",
+    )
+    parser.add_argument(
+        "--validate-roundtrip", action="store_true",
+        help="with --validate: also check that every cross-ISA stack "
+        "transform round-trips bit-exactly (A->B->A)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available workloads")
@@ -154,6 +165,12 @@ def cmd_run(args) -> int:
     for name in system.machine_order:
         traces = recorder.machine(name)
         table.add_row(f"{name} energy (J)", f"{traces.cpu_energy():.2f}")
+    from repro import validate
+
+    if validate.enabled():
+        from repro.telemetry.validation import default_log
+
+        table.add_row("invariant checks", default_log().summary())
     print(table.render())
     return 0 if process.exit_code == 0 else 1
 
@@ -364,6 +381,12 @@ def cmd_faults(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.validate or args.validate_roundtrip:
+        from repro import validate
+
+        validate.set_enabled(True)
+        if args.validate_roundtrip:
+            validate.set_roundtrip(True)
     handler = {
         "list": cmd_list,
         "run": cmd_run,

@@ -14,6 +14,7 @@ Two passes, mirroring the paper's workflow:
   time".
 """
 
+import re
 from typing import Dict, List, Optional
 
 from repro.ir.function import BasicBlock, Function, Module
@@ -21,6 +22,9 @@ from repro.ir.instructions import BinOp, Br, CBr, Const, MigPoint, Ret, UnOp, Wo
 from repro.isa.types import ValueType
 
 DEFAULT_TARGET_GAP = 50_000_000  # one scheduling quantum, per the paper
+
+# Chunk-loop body blocks minted by _strip_mine (``<label>.wb<n>``).
+_CHUNK_BODY = re.compile(r"\.wb\d+$")
 
 
 def _next_point_id(fn: Function) -> int:
@@ -104,22 +108,28 @@ def _needs_chunking(instr: Work, target_gap: int) -> bool:
 
 def _chunk_work_in_function(fn: Function, target_gap: int) -> int:
     inserted = 0
-    # Iterate over a snapshot: chunking appends new blocks.
-    for label in list(fn.block_order):
-        while True:
-            block = fn.blocks[label]
-            split_at = None
-            for i, instr in enumerate(block.instrs):
-                if isinstance(instr, Work) and _needs_chunking(instr, target_gap):
-                    split_at = i
-                    break
-            if split_at is None:
+    # Iterate by index over the *growing* block list: strip-mining moves
+    # everything after the split into a fresh continuation block, and a
+    # second work burst in the same source block must be found there.
+    scan = 0
+    while scan < len(fn.block_order):
+        label = fn.block_order[scan]
+        scan += 1
+        if _CHUNK_BODY.search(label):
+            # A chunk body generated below: its Work(chunk_var) is
+            # dynamic and already paired with a migration point —
+            # re-chunking it would strip-mine forever.
+            continue
+        block = fn.blocks[label]
+        split_at = None
+        for i, instr in enumerate(block.instrs):
+            if isinstance(instr, Work) and _needs_chunking(instr, target_gap):
+                split_at = i
                 break
-            _strip_mine(fn, label, split_at, target_gap)
-            inserted += 1
-            # Re-scan the same block: everything after the split moved
-            # to the continuation block, which the outer loop reaches
-            # via fn.block_order.
+        if split_at is None:
+            continue
+        _strip_mine(fn, label, split_at, target_gap)
+        inserted += 1
     return inserted
 
 

@@ -22,6 +22,7 @@ import heapq
 import itertools
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
+from repro import validate
 from repro.datacenter.energy import RunResult
 from repro.datacenter.job import Job, JobSpec, JobState, job_duration, migration_penalty
 from repro.datacenter.policies import SchedulingPolicy
@@ -132,6 +133,8 @@ class ClusterSimulator:
         self.lost_work_seconds = 0.0
         self.overhead_seconds = 0.0
         self.busy_seconds = 0.0
+        # Opt-in conservation audit (REPRO_VALIDATE): None when off.
+        self._checker = validate.make_cluster_checker()
 
     # --------------------------------------------------------- plumbing
 
@@ -389,6 +392,8 @@ class ClusterSimulator:
         """Closed system: keep ``concurrency`` jobs in flight (Fig. 12)."""
         queue = [Job(s, arrival=0.0) for s in specs]
         pending = list(queue)
+        if self._checker is not None:
+            self._checker.begin(len(queue))
         in_flight = 0
         for _ in range(min(concurrency, len(pending))):
             job = pending.pop(0)
@@ -426,7 +431,9 @@ class ClusterSimulator:
                     in_flight += 1
             if done or faulted:
                 self._apply_policy_migrations()
-        return self._result(len(queue))
+            if self._checker is not None:
+                self._checker.check(self, outstanding=len(pending))
+        return self._result(len(queue), outstanding=len(pending))
 
     def run_periodic(self, arrivals: List[Tuple[float, JobSpec]]) -> RunResult:
         """Open system with timed arrivals (Fig. 13)."""
@@ -436,6 +443,8 @@ class ClusterSimulator:
         )
         idx = 0
         total = len(schedule)
+        if self._checker is not None:
+            self._checker.begin(total)
         while idx < total or any(n.jobs for n in self.nodes) or self.parked:
             next_arrival = schedule[idx].arrival if idx < total else None
             dt_done = self._next_completion_dt()
@@ -463,9 +472,13 @@ class ClusterSimulator:
                 changed = True
             if changed:
                 self._apply_policy_migrations()
-        return self._result(total)
+            if self._checker is not None:
+                self._checker.check(self, outstanding=total - idx)
+        return self._result(total, outstanding=total - idx)
 
-    def _result(self, job_count: int) -> RunResult:
+    def _result(self, job_count: int, outstanding: int = 0) -> RunResult:
+        if self._checker is not None:
+            self._checker.check(self, outstanding=outstanding, final=True)
         useful = max(
             self.busy_seconds - self.lost_work_seconds - self.overhead_seconds,
             0.0,

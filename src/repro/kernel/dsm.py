@@ -89,12 +89,19 @@ class DsmService:
     def _fault(self, kernel: str, page: int, write: bool) -> float:
         self.stats.faults += 1
         owner = self._owner[page]
-        cost = self.messaging.rpc(
-            "dsm.page", kernel, owner, request_bytes=32, reply_bytes=PAGE_SIZE
-        )
-        self.stats.page_transfers += 1
-        self.stats.bytes_transferred += PAGE_SIZE
         sharers = self._valid.setdefault(page, {owner})
+        cost = 0.0
+        # The page payload crosses the wire only when the faulting
+        # kernel holds no valid copy.  A write to a page it already
+        # shares (S->M upgrade, or the owner with stale sharers) costs
+        # invalidation traffic only — no page transfer, no self-RPC.
+        if kernel not in sharers:
+            cost += self.messaging.rpc(
+                "dsm.page", kernel, owner, request_bytes=32,
+                reply_bytes=PAGE_SIZE,
+            )
+            self.stats.page_transfers += 1
+            self.stats.bytes_transferred += PAGE_SIZE
         if write:
             # Invalidate all other copies and take ownership.
             others = [k for k in sharers if k != kernel]
@@ -132,28 +139,50 @@ class DsmService:
             self._note_first_touch(kernel, p)
         if not missing:
             return (0.0, 0)
+        transfers = 0
+        cost = 0.0
+        inval_groups = set()
         for page in missing:
             owner = self._owner[page]
             sharers = self._valid.setdefault(page, {owner})
+            # Same accounting as a sequence of single faults: a page the
+            # kernel already shares (write upgrade) moves no payload.
+            if kernel not in sharers:
+                transfers += 1
             if write:
-                self.stats.invalidations += len([k for k in sharers if k != kernel])
+                others = [k for k in sharers if k != kernel]
+                if others:
+                    # Invalidation *counts* match the single-fault path
+                    # (one per stale copy), but the messages are batched:
+                    # a bulk pull invalidates a contiguous range with one
+                    # range-invalidate broadcast per distinct sharer
+                    # group, not one message per page.
+                    inval_groups.add(frozenset(others))
+                    self.stats.invalidations += len(others)
                 self._valid[page] = {kernel}
                 self._owner[page] = kernel
             else:
                 sharers.add(kernel)
-        n = len(missing)
-        self.stats.faults += 1
-        self.stats.page_transfers += n
-        self.stats.bytes_transferred += n * PAGE_SIZE
-        interconnect = self.messaging.interconnect
-        cost = (
-            interconnect.latency_s * 2
-            + (n * (PAGE_SIZE + 64)) / interconnect.bandwidth_bytes_per_s
-            + interconnect.per_message_cpu_s
-        )
-        interconnect.record(n * (PAGE_SIZE + 64))
+        for group in sorted(inval_groups, key=sorted):
+            cost += self.messaging.broadcast(
+                "dsm.inval", kernel, sorted(group), payload_bytes=32
+            )
+        # One logical fault per missing page — the bulk path is cheaper
+        # than N single faults only in *time* (one round trip of latency
+        # amortised over a pipelined burst), never in *accounting*.
+        self.stats.faults += len(missing)
+        self.stats.page_transfers += transfers
+        self.stats.bytes_transferred += transfers * PAGE_SIZE
+        if transfers:
+            interconnect = self.messaging.interconnect
+            cost += (
+                interconnect.latency_s * 2
+                + (transfers * (PAGE_SIZE + 64)) / interconnect.bandwidth_bytes_per_s
+                + interconnect.per_message_cpu_s
+            )
+            self.messaging.record_bulk("dsm.bulk", transfers, PAGE_SIZE + 64)
         self.epoch += 1
-        return (cost, n)
+        return (cost, transfers)
 
     # ------------------------------------------------------- inspection
 

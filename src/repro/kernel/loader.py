@@ -12,9 +12,9 @@ never-transferred for the DSM.
 
 from typing import Optional
 
+from repro import validate
 from repro.compiler.toolchain import MultiIsaBinary
 from repro.isa.types import type_size
-from repro.kernel.dsm import DsmService
 from repro.kernel.process import Process
 from repro.kernel.vdso import VdsoPage
 from repro.linker.layout import align_up
@@ -40,7 +40,8 @@ def load_binary(
     heap = HeapAllocator(space)
     process = Process(pid, binary, space, heap, home_kernel)
     process.vdso = VdsoPage(space, machine_order)
-    process.dsm = DsmService(space, messaging, home_kernel)
+    # Validated DSM when REPRO_VALIDATE is on, plain service otherwise.
+    process.dsm = validate.make_dsm_service(space, messaging, home_kernel)
     space.page_hook = None  # engine wires DSM access charging itself
     return process
 

@@ -86,5 +86,20 @@ class MessagingLayer:
             worst += (fanout - 1) * self.interconnect.per_message_cpu_s
         return worst
 
+    def record_bulk(self, kind: str, count: int, bytes_each: int) -> float:
+        """Account a pipelined bulk transfer of ``count`` messages.
+
+        The hDSM bulk page-pull path computes its own (bandwidth-limited,
+        pipelined) timing, so this only keeps the byte/message counters
+        coherent: everything the interconnect records is attributable to
+        a message kind.  Returns 0.0 — no latency is charged here.
+        """
+        if count <= 0:
+            return 0.0
+        self.counts[kind] += count
+        self.bytes_by_kind[kind] += count * bytes_each
+        self.interconnect.record(count * bytes_each)
+        return 0.0
+
     def stats(self) -> Dict[str, int]:
         return dict(self.counts)

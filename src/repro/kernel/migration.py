@@ -24,8 +24,9 @@ kernel-level hand-off.
 from dataclasses import dataclass
 from typing import Optional
 
+from repro import validate
 from repro.kernel.process import KernelThreadState, Thread, ThreadState
-from repro.runtime.transform import StackTransformer, TransformStats
+from repro.runtime.transform import TransformStats
 
 THREAD_CONTEXT_BYTES = 2048  # register file + unwound-metadata summary
 CONTINUATION_SETUP_S = 12e-6  # kernel stack + TCB creation on the target
@@ -76,7 +77,9 @@ class MigrationService:
         transform_stats = None
         transform_seconds = 0.0
         if src_isa != dst_isa:
-            transformer = StackTransformer(process.binary, process.space)
+            transformer = validate.make_stack_transformer(
+                process.binary, process.space
+            )
             transform_stats = transformer.transform(
                 thread, dst_isa, migpoint_site
             )

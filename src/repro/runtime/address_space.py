@@ -124,6 +124,19 @@ class AddressSpace:
             raise SegfaultError(addr, "write to read-only region")
         self._mem[addr] = value
 
+    # -------------------------------------------------------- snapshots
+
+    def snapshot_range(self, lo: int, hi: int) -> Dict[int, Word]:
+        """All explicitly-stored words in [lo, hi) — for undoable
+        speculative rewrites (e.g. the validator's A->B->A round trip)."""
+        return {a: v for a, v in self._mem.items() if lo <= a < hi}
+
+    def restore_range(self, lo: int, hi: int, snapshot: Dict[int, Word]) -> None:
+        """Make [lo, hi) bit-identical to a prior :meth:`snapshot_range`."""
+        for addr in [a for a in self._mem if lo <= a < hi]:
+            del self._mem[addr]
+        self._mem.update(snapshot)
+
     # ------------------------------------------------------------ bulk
 
     def write_words(self, base: int, values, stride: int = 8) -> None:

@@ -327,7 +327,10 @@ class StackTransformer:
             src_base = plan.src.cfa - src_depth
             dst_base = plan.dst_cfa - dst_depth
             for offset in range(0, size, 8):
-                value = self.space.read(src_base + offset)
-                if value != 0:
-                    self.space.write(dst_base + offset, value)
+                # Zero words are written too: stack halves are reused on
+                # consecutive migrations (A->B->A lands back on the
+                # original half), so skipping zeros would let a word
+                # zeroed on the other ISA resurface with its stale
+                # pre-migration value.
+                self.space.write(dst_base + offset, self.space.read(src_base + offset))
                 stats.buffer_words_copied += 1

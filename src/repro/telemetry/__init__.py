@@ -7,5 +7,20 @@ Figure 11's traces and every energy integral in Figures 12-13.
 
 from repro.telemetry.faultlog import FaultLog, FaultLogEntry
 from repro.telemetry.recorder import MachineTraces, PowerRecorder
+from repro.telemetry.validation import (
+    ValidationLog,
+    ViolationRecord,
+    default_log,
+    reset_default_log,
+)
 
-__all__ = ["PowerRecorder", "MachineTraces", "FaultLog", "FaultLogEntry"]
+__all__ = [
+    "PowerRecorder",
+    "MachineTraces",
+    "FaultLog",
+    "FaultLogEntry",
+    "ValidationLog",
+    "ViolationRecord",
+    "default_log",
+    "reset_default_log",
+]

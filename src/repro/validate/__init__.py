@@ -1,0 +1,110 @@
+"""Opt-in runtime invariant checking (``REPRO_VALIDATE=1`` / ``--validate``).
+
+The simulator's correctness rests on two delicate mechanisms — hDSM
+page coherence and frame-by-frame stack transformation — plus the
+cluster simulator's work/energy bookkeeping.  This package wraps each
+of them with a checker that re-derives what *must* hold and raises a
+structured :class:`InvariantViolation` (with a dump of the offending
+state) the moment reality diverges:
+
+* :class:`~repro.validate.dsm_checker.ValidatedDsmService` — MSI
+  structural invariants plus a lock-step shadow reference model of the
+  coherence protocol and its traffic counters;
+* :class:`~repro.validate.stack_checker.ValidatedStackTransformer` —
+  destination stack layout, bit-exact value/buffer preservation,
+  pointer containment, and an optional A->B->A round-trip check
+  (``REPRO_VALIDATE_ROUNDTRIP=1``);
+* :class:`~repro.validate.conservation.ClusterConservationChecker` —
+  job, time and energy conservation in the datacenter simulator.
+
+Checking is **off by default** and costs nothing when disabled: the
+factories below return the plain implementations.  Enable it with the
+``REPRO_VALIDATE=1`` environment variable, the CLI's ``--validate``
+flag, or programmatically via :func:`set_enabled`.
+"""
+
+import os
+from typing import Optional
+
+from repro.validate.errors import InvariantViolation
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+_forced: Optional[bool] = None
+_forced_roundtrip: Optional[bool] = None
+
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() in _TRUTHY
+
+
+def enabled() -> bool:
+    """Is invariant checking on (override, else ``REPRO_VALIDATE``)?"""
+    if _forced is not None:
+        return _forced
+    return _env_flag("REPRO_VALIDATE")
+
+
+def set_enabled(value: Optional[bool]) -> None:
+    """Force checking on/off; ``None`` defers to the environment again."""
+    global _forced
+    _forced = value
+
+
+def roundtrip_enabled() -> bool:
+    """Is the A->B->A stack round-trip check on?  Implies :func:`enabled`."""
+    if _forced_roundtrip is not None:
+        return _forced_roundtrip
+    return _env_flag("REPRO_VALIDATE_ROUNDTRIP")
+
+
+def set_roundtrip(value: Optional[bool]) -> None:
+    global _forced_roundtrip
+    _forced_roundtrip = value
+
+
+# ------------------------------------------------------------ factories
+
+def make_dsm_service(space, messaging, home_kernel: str):
+    """A DsmService — validated when checking is enabled."""
+    if enabled():
+        from repro.validate.dsm_checker import ValidatedDsmService
+
+        return ValidatedDsmService(space, messaging, home_kernel)
+    from repro.kernel.dsm import DsmService
+
+    return DsmService(space, messaging, home_kernel)
+
+
+def make_stack_transformer(binary, space):
+    """A StackTransformer — validated when checking is enabled."""
+    if enabled():
+        from repro.validate.stack_checker import ValidatedStackTransformer
+
+        return ValidatedStackTransformer(
+            binary, space, roundtrip=roundtrip_enabled()
+        )
+    from repro.runtime.transform import StackTransformer
+
+    return StackTransformer(binary, space)
+
+
+def make_cluster_checker():
+    """A ClusterConservationChecker, or None when checking is disabled."""
+    if enabled():
+        from repro.validate.conservation import ClusterConservationChecker
+
+        return ClusterConservationChecker()
+    return None
+
+
+__all__ = [
+    "InvariantViolation",
+    "enabled",
+    "set_enabled",
+    "roundtrip_enabled",
+    "set_roundtrip",
+    "make_dsm_service",
+    "make_stack_transformer",
+    "make_cluster_checker",
+]

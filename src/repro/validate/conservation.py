@@ -1,0 +1,157 @@
+"""Conservation checker for the cluster simulator.
+
+Asserts, after every simulation step and at result time, that the
+:class:`~repro.datacenter.cluster.ClusterSimulator` never creates or
+loses work or energy out of thin air:
+
+* job conservation — every submitted job is exactly one of finished,
+  lost, parked, running, or not yet admitted;
+* job-state consistency — running jobs sit on the node their record
+  names, only on nodes that are up, with remaining work in [0, 1];
+* energy/time monotonicity — per-node energy, busy seconds, lost work
+  and overhead only ever grow, and simulated time never runs backwards;
+* goodput decomposition — lost work and overhead never exceed the busy
+  seconds they are carved out of (once any work has accrued).
+"""
+
+from typing import Dict, Optional
+
+from repro.telemetry.validation import ValidationLog, default_log
+from repro.validate.errors import InvariantViolation
+
+_EPS = 1e-6
+
+
+class ClusterConservationChecker:
+    """Lock-step bookkeeping audit of one ClusterSimulator run."""
+
+    CHECKER = "cluster"
+
+    def __init__(self, log: Optional[ValidationLog] = None):
+        self.log = log if log is not None else default_log()
+        self.submitted: Optional[int] = None
+        self._last_now = 0.0
+        self._last_busy = 0.0
+        self._last_lost_work = 0.0
+        self._last_overhead = 0.0
+        self._last_energy: Dict[str, float] = {}
+
+    def begin(self, submitted: int) -> None:
+        self.submitted = submitted
+
+    # ---------------------------------------------------------- checks
+
+    def _fail(self, sim, invariant: str, detail: str, extra=None) -> None:
+        state = {
+            "now": sim.now,
+            "submitted": self.submitted,
+            "finished": len(sim.finished),
+            "lost": sim.jobs_lost,
+            "parked": len(sim.parked),
+            "running": {n.name: len(n.jobs) for n in sim.nodes},
+            "busy_seconds": sim.busy_seconds,
+            "lost_work_seconds": sim.lost_work_seconds,
+            "overhead_seconds": sim.overhead_seconds,
+            "energy": {n.name: n.energy_joules for n in sim.nodes},
+        }
+        if extra:
+            state.update(extra)
+        violation = InvariantViolation(self.CHECKER, invariant, detail, state)
+        self.log.note_violation(violation)
+        raise violation
+
+    def check(self, sim, outstanding: int = 0, final: bool = False) -> None:
+        """Audit ``sim``; ``outstanding`` = submitted jobs not yet admitted."""
+        self.log.note_check(self.CHECKER)
+        self._check_jobs(sim, outstanding)
+        self._check_monotonicity(sim)
+        self._check_energy(sim)
+        if final:
+            self._check_goodput(sim)
+
+    def _check_jobs(self, sim, outstanding: int) -> None:
+        running = sum(len(node.jobs) for node in sim.nodes)
+        accounted = (
+            len(sim.finished) + sim.jobs_lost + len(sim.parked)
+            + running + outstanding
+        )
+        if self.submitted is not None and accounted != self.submitted:
+            self._fail(
+                sim, "job-conservation",
+                f"{self.submitted} jobs submitted but "
+                f"{accounted} accounted for (finished + lost + parked + "
+                f"running + not-yet-admitted)",
+                {"outstanding": outstanding},
+            )
+        for node in sim.nodes:
+            if node.jobs and not node.up:
+                self._fail(
+                    sim, "no-jobs-on-down-nodes",
+                    f"crashed node {node.name} still holds "
+                    f"{len(node.jobs)} jobs",
+                )
+            for job in node.jobs:
+                if job.machine != node.name:
+                    self._fail(
+                        sim, "job-placement-consistent",
+                        f"job {job.spec} sits on {node.name} but its "
+                        f"record names {job.machine!r}",
+                    )
+                if not (-_EPS <= job.remaining_fraction <= 1.0 + _EPS):
+                    self._fail(
+                        sim, "remaining-fraction-bounded",
+                        f"job {job.spec} on {node.name} has remaining "
+                        f"fraction {job.remaining_fraction!r}",
+                    )
+
+    def _check_monotonicity(self, sim) -> None:
+        if sim.now + _EPS < self._last_now:
+            self._fail(
+                sim, "time-monotone",
+                f"simulated time went backwards: {self._last_now} -> "
+                f"{sim.now}",
+            )
+        for name, value, last in (
+            ("busy_seconds", sim.busy_seconds, self._last_busy),
+            ("lost_work_seconds", sim.lost_work_seconds, self._last_lost_work),
+            ("overhead_seconds", sim.overhead_seconds, self._last_overhead),
+        ):
+            if value + _EPS < last:
+                self._fail(
+                    sim, f"{name}-monotone",
+                    f"{name} shrank: {last} -> {value}",
+                )
+        self._last_now = sim.now
+        self._last_busy = sim.busy_seconds
+        self._last_lost_work = sim.lost_work_seconds
+        self._last_overhead = sim.overhead_seconds
+
+    def _check_energy(self, sim) -> None:
+        for node in sim.nodes:
+            joules = node.energy_joules
+            if not (joules >= 0.0) or joules != joules:  # NaN guard
+                self._fail(
+                    sim, "energy-non-negative",
+                    f"node {node.name} accumulated {joules!r} J",
+                )
+            last = self._last_energy.get(node.name, 0.0)
+            if joules + _EPS < last:
+                self._fail(
+                    sim, "energy-monotone",
+                    f"node {node.name} energy shrank: {last} -> {joules}",
+                )
+            self._last_energy[node.name] = joules
+
+    def _check_goodput(self, sim) -> None:
+        if sim.busy_seconds <= 0.0:
+            return
+        carved = sim.lost_work_seconds + sim.overhead_seconds
+        # Overhead is added to a migrated job's remaining work, so it is
+        # only ever carved out of busy time already (or about to be)
+        # accrued; at result time the decomposition must close.
+        if carved > sim.busy_seconds * (1.0 + 1e-9) + _EPS:
+            self._fail(
+                sim, "goodput-decomposition",
+                f"lost work + overhead ({carved}) exceeds total busy "
+                f"seconds ({sim.busy_seconds})",
+            )

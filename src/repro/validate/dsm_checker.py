@@ -1,0 +1,232 @@
+"""hDSM coherence checker: MSI invariants + a lock-step shadow model.
+
+:class:`ValidatedDsmService` is a drop-in :class:`DsmService` that
+re-executes every residency-changing operation against an independent
+reference implementation of the intended MSI protocol and compares the
+full coherence state (owner map, sharer sets, traffic counters) after
+every ``access``/``ensure_range``/cleanup.  On top of the lock-step
+comparison it asserts the structural MSI invariants directly:
+
+* every tracked page has exactly one owner, and the owner holds a
+  valid copy (owner ∈ sharer set);
+* sharer sets are never empty for tracked pages, and the owner/valid
+  maps track exactly the same pages;
+* after a write the writer is the only holder (writer exclusivity) —
+  enforced through the shadow model, which knows the access history;
+* aliased pages (per-ISA ``.text``, vDSO) never enter the owner or
+  valid maps — they are local everywhere by construction;
+* every byte recorded on the interconnect is attributable to a
+  messaging-layer kind (page payloads, invalidations, bulk pulls), so
+  DSM traffic can never be double-charged or silently dropped.
+"""
+
+from typing import Dict, Optional, Set
+
+from repro.kernel.dsm import DsmService, DsmStats
+from repro.linker.layout import PAGE_SIZE, page_of
+from repro.telemetry.validation import ValidationLog, default_log
+from repro.validate.errors import InvariantViolation
+
+
+class ShadowDsm:
+    """Reference MSI model, deliberately independent of DsmService.
+
+    Implements the *intended* protocol semantics (upgrades move no
+    payload; every missing page is one logical fault; invalidations are
+    counted per stale copy) so that any accounting drift in the real
+    service shows up as a lock-step divergence.
+    """
+
+    def __init__(self, aliased_pages: Set[int]):
+        self.aliased = set(aliased_pages)
+        self.owner: Dict[int, str] = {}
+        self.valid: Dict[int, Set[str]] = {}
+        self.stats = DsmStats()
+
+    def _first_touch(self, kernel: str, page: int) -> None:
+        if page not in self.owner and page not in self.aliased:
+            self.owner[page] = kernel
+            self.valid[page] = {kernel}
+
+    def _is_local(self, kernel: str, page: int, write: bool) -> bool:
+        if page in self.aliased:
+            return True
+        owner = self.owner.get(page)
+        if owner is None:
+            return True
+        if write:
+            return owner == kernel and self.valid[page] == {kernel}
+        return kernel in self.valid.get(page, set())
+
+    def _serve_fault(self, kernel: str, page: int, write: bool) -> bool:
+        """Apply one coherence fault; returns True if a payload moved."""
+        self.stats.faults += 1
+        sharers = self.valid[page]
+        transferred = kernel not in sharers
+        if transferred:
+            self.stats.page_transfers += 1
+            self.stats.bytes_transferred += PAGE_SIZE
+        if write:
+            self.stats.invalidations += sum(1 for k in sharers if k != kernel)
+            self.owner[page] = kernel
+            self.valid[page] = {kernel}
+        else:
+            sharers.add(kernel)
+        return transferred
+
+    def access(self, kernel: str, page: int, write: bool) -> None:
+        if self._is_local(kernel, page, write):
+            self._first_touch(kernel, page)
+            return
+        self._serve_fault(kernel, page, write)
+
+    def ensure_range(self, kernel: str, base: int, span: int, write: bool) -> None:
+        if span <= 0:
+            return
+        pages = range(page_of(base), page_of(base + span - 1) + 1)
+        missing = [p for p in pages if not self._is_local(kernel, p, write)]
+        for p in pages:
+            self._first_touch(kernel, p)
+        for p in missing:
+            self._serve_fault(kernel, p, write)
+
+    def cleanup(self, kernel: str) -> None:
+        for page, sharers in self.valid.items():
+            if kernel in sharers and self.owner.get(page) != kernel:
+                sharers.discard(kernel)
+
+
+class ValidatedDsmService(DsmService):
+    """DsmService that checks MSI invariants after every operation."""
+
+    CHECKER = "dsm"
+
+    def __init__(
+        self,
+        space,
+        messaging,
+        home_kernel: str,
+        log: Optional[ValidationLog] = None,
+    ):
+        super().__init__(space, messaging, home_kernel)
+        self.shadow = ShadowDsm(self._aliased)
+        self.log = log if log is not None else default_log()
+
+    # ------------------------------------------------------ operations
+
+    def access(self, kernel: str, addr: int, write: bool) -> float:
+        cost = super().access(kernel, addr, write)
+        self.shadow.access(kernel, page_of(addr), write)
+        self._check(f"access({kernel}, {addr:#x}, write={write})")
+        if cost < 0.0:
+            self._fail(
+                "non-negative-cost", f"access returned {cost!r}",
+                {"kernel": kernel, "addr": hex(addr), "write": write},
+            )
+        return cost
+
+    def ensure_range(self, kernel, base, span, write):
+        cost, pages = super().ensure_range(kernel, base, span, write)
+        self.shadow.ensure_range(kernel, base, span, write)
+        self._check(
+            f"ensure_range({kernel}, {base:#x}, span={span}, write={write})"
+        )
+        return cost, pages
+
+    def all_threads_migrated_cleanup(self, kernel: str) -> int:
+        dropped = super().all_threads_migrated_cleanup(kernel)
+        self.shadow.cleanup(kernel)
+        self._check(f"all_threads_migrated_cleanup({kernel})")
+        return dropped
+
+    # --------------------------------------------------------- checks
+
+    def _fail(self, invariant: str, detail: str, extra=None) -> None:
+        state = {
+            "owner": dict(sorted(self._owner.items())),
+            "valid": {p: sorted(s) for p, s in sorted(self._valid.items())},
+            "stats": vars(self.stats.snapshot()),
+            "shadow_owner": dict(sorted(self.shadow.owner.items())),
+            "shadow_valid": {
+                p: sorted(s) for p, s in sorted(self.shadow.valid.items())
+            },
+            "shadow_stats": vars(self.shadow.stats.snapshot()),
+        }
+        if extra:
+            state.update(extra)
+        violation = InvariantViolation(self.CHECKER, invariant, detail, state)
+        self.log.note_violation(violation)
+        raise violation
+
+    def _check(self, op: str) -> None:
+        self.log.note_check(self.CHECKER)
+        self._check_structure(op)
+        self._check_shadow(op)
+        self._check_byte_conservation(op)
+
+    def _check_structure(self, op: str) -> None:
+        if self._owner.keys() != self._valid.keys():
+            self._fail(
+                "owner-valid-same-pages",
+                f"after {op}: owner map and valid map track different pages",
+                {"op": op},
+            )
+        for page, sharers in self._valid.items():
+            if not sharers:
+                self._fail(
+                    "sharers-nonempty",
+                    f"after {op}: page {page:#x} has an empty sharer set",
+                    {"op": op, "page": page},
+                )
+            if self._owner[page] not in sharers:
+                self._fail(
+                    "owner-holds-copy",
+                    f"after {op}: owner {self._owner[page]!r} of page "
+                    f"{page:#x} holds no valid copy",
+                    {"op": op, "page": page},
+                )
+            if page in self._aliased:
+                self._fail(
+                    "aliased-never-tracked",
+                    f"after {op}: aliased page {page:#x} entered the "
+                    "owner/valid maps",
+                    {"op": op, "page": page},
+                )
+
+    def _check_shadow(self, op: str) -> None:
+        if self._owner != self.shadow.owner:
+            self._fail(
+                "shadow-owner-lockstep",
+                f"after {op}: owner map diverged from the reference model",
+                {"op": op},
+            )
+        if self._valid != self.shadow.valid:
+            self._fail(
+                "shadow-valid-lockstep",
+                f"after {op}: sharer sets diverged from the reference "
+                "model (writer exclusivity or sharer tracking broken)",
+                {"op": op},
+            )
+        real, ref = self.stats, self.shadow.stats
+        for counter in ("faults", "page_transfers", "invalidations",
+                        "bytes_transferred"):
+            if getattr(real, counter) != getattr(ref, counter):
+                self._fail(
+                    f"stats-{counter}",
+                    f"after {op}: stats.{counter} is "
+                    f"{getattr(real, counter)}, reference model expects "
+                    f"{getattr(ref, counter)}",
+                    {"op": op},
+                )
+
+    def _check_byte_conservation(self, op: str) -> None:
+        recorded = self.messaging.interconnect.bytes_sent
+        charged = sum(self.messaging.bytes_by_kind.values())
+        if recorded != charged:
+            self._fail(
+                "interconnect-byte-conservation",
+                f"after {op}: interconnect recorded {recorded} bytes but "
+                f"the messaging layer charged {charged} "
+                "(DSM + messaging traffic must account for every byte)",
+                {"op": op, "bytes_by_kind": dict(self.messaging.bytes_by_kind)},
+            )

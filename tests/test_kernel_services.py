@@ -130,8 +130,12 @@ class TestDsm:
             dsm.access(B, page * PAGE_SIZE, write=False)
             dsm.access(C, page * PAGE_SIZE, write=False)
         inval0, epoch0 = dsm.stats.invalidations, dsm.epoch
+        bytes0 = dsm.stats.bytes_transferred
         cost, pages = dsm.ensure_range(C, 0, 3 * PAGE_SIZE, write=True)
-        assert pages == 3 and cost > 0
+        # C already held a valid (read) copy of every page: a pure S->M
+        # upgrade moves no payload — only invalidation traffic.
+        assert pages == 0 and cost > 0
+        assert dsm.stats.bytes_transferred == bytes0
         # Each page had two other sharers (A the owner, B a reader).
         assert dsm.stats.invalidations == inval0 + 6
         for page in range(3):

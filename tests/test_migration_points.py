@@ -69,6 +69,33 @@ class TestProfiledInsertion:
         insert_boundary_points(m)
         assert insert_profiled_points(m, target_gap=50_000_000) == 0
 
+    def test_every_burst_in_a_block_strip_mined(self):
+        # Strip-mining moves the tail of a block into a continuation
+        # block; a second burst in the same source block must still be
+        # found there and get its own migration point.
+        m = Module("two-bursts")
+        fb = FunctionBuilder(m.function("main", [], VT.I64))
+        fb.work(120_000_000, "int_alu")
+        fb.work(120_000_000, "int_alu")
+        fb.ret(0)
+        insert_boundary_points(m)
+        inserted = insert_profiled_points(m, target_gap=50_000_000)
+        assert inserted == 2
+        assert _count_migpoints(m, "profiled") == 2
+        for fn in m.functions.values():
+            for _, _, instr in fn.instructions():
+                if isinstance(instr, Work) and isinstance(instr.amount, (int, float)):
+                    assert instr.amount <= 50_000_000
+
+    def test_profiled_insertion_idempotent(self):
+        # A chunked body holds a dynamic-amount Work followed by its
+        # migration point; a second pass must not re-chunk it.
+        m = _module_with_burst()
+        insert_boundary_points(m)
+        assert insert_profiled_points(m, target_gap=50_000_000) == 1
+        assert insert_profiled_points(m, target_gap=50_000_000) == 0
+        assert _count_migpoints(m, "profiled") == 1
+
     def test_hot_function_filter(self):
         m = _module_with_burst()
         assert insert_profiled_points(m, hot_functions=["not_main"]) == 0
