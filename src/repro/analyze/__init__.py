@@ -1,0 +1,65 @@
+"""Migration-safety static analyzer (``repro lint``).
+
+The runtime checkers in :mod:`repro.validate` only catch a toolchain
+bug when a test happens to execute the broken site.  This package
+verifies the paper's correctness contracts *statically*, on the
+compiled :class:`~repro.compiler.toolchain.MultiIsaBinary`, for every
+workload in the registry:
+
+* **stackmap** — recomputed dataflow liveness must equal the emitted
+  stackmaps at every call site, on every ISA, with cross-ISA live-set
+  and type equivalence per ``site_id``;
+* **unwind** — every clobbered callee-saved register has a save slot
+  and the CFA chain is derivable from the unwind metadata alone;
+* **layout** — one common address-space layout: identical symbol
+  addresses, sufficient ``.text`` alias padding, TLS equality, no
+  overlaps;
+* **coverage** — a static bound on the longest migration-point-free
+  path per function against the ~50M-instruction responsiveness
+  target;
+* **escape** — stack addresses that flow where the pointer fix-up
+  cannot follow;
+* **ir** — :mod:`repro.ir.validate` problems surfaced as ``MIG001``
+  diagnostics, all at once.
+
+Diagnostics carry stable ``MIG0xx`` codes (reference: ``docs/lint.md``)
+with error/warning/info severities, render as text or JSON, and can be
+suppressed through a checked-in baseline file.  Opt into fail-on-error
+linting at link time with ``Toolchain(lint=True)``, or run
+``python -m repro lint --all`` over the whole registry.
+"""
+
+from repro.analyze.baseline import DEFAULT_BASELINE_PATH, Baseline
+from repro.analyze.diagnostics import (
+    DIAGNOSTIC_CODES,
+    Diagnostic,
+    LintReport,
+    Severity,
+)
+from repro.analyze.driver import (
+    LINT_PASSES,
+    LintContext,
+    LintError,
+    LintPass,
+    pass_names,
+    run_lint,
+)
+from repro.analyze.report import render_json, render_text, report_to_dict
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_BASELINE_PATH",
+    "DIAGNOSTIC_CODES",
+    "Diagnostic",
+    "LintContext",
+    "LintError",
+    "LintPass",
+    "LINT_PASSES",
+    "LintReport",
+    "Severity",
+    "pass_names",
+    "render_json",
+    "render_text",
+    "report_to_dict",
+    "run_lint",
+]

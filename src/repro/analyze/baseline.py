@@ -1,0 +1,69 @@
+"""Baseline files: accepted diagnostics that do not fail the lint.
+
+A baseline is a checked-in JSON file listing diagnostic fingerprints
+(``code|isa|function|site|symbol``) that are known and triaged; CI
+fails only on *new* error-severity diagnostics.  An empty baseline is
+the healthy steady state — every registered workload lints clean.
+"""
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Set
+
+from repro.analyze.diagnostics import Diagnostic
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_PATH = ".lint-baseline.json"
+
+
+class Baseline:
+    """A set of suppressed diagnostic fingerprints."""
+
+    def __init__(self, fingerprints: Iterable[str] = ()):
+        self.fingerprints: Set[str] = set(fingerprints)
+
+    def suppresses(self, diagnostic: Diagnostic) -> bool:
+        return diagnostic.fingerprint in self.fingerprints
+
+    def __len__(self) -> int:
+        return len(self.fingerprints)
+
+    # ----------------------------------------------------------- file IO
+
+    @classmethod
+    def load(cls, path) -> "Baseline":
+        """Load a baseline; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text())
+        if not isinstance(data, dict) or "suppress" not in data:
+            raise ValueError(f"{path}: not a lint baseline file")
+        version = data.get("version", BASELINE_VERSION)
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"{path}: baseline version {version} unsupported "
+                f"(expected {BASELINE_VERSION})"
+            )
+        return cls(data["suppress"])
+
+    def save(self, path) -> None:
+        Path(path).write_text(self.render() + "\n")
+
+    def render(self) -> str:
+        return json.dumps(
+            {"version": BASELINE_VERSION,
+             "suppress": sorted(self.fingerprints)},
+            indent=2,
+        )
+
+    @classmethod
+    def from_reports(cls, reports, errors_only: bool = True) -> "Baseline":
+        """Build a baseline accepting every (error) diagnostic seen."""
+        fingerprints: List[str] = []
+        for report in reports:
+            for diag in report.diagnostics + report.suppressed:
+                if errors_only and diag.severity.value != "error":
+                    continue
+                fingerprints.append(diag.fingerprint)
+        return cls(fingerprints)

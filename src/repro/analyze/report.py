@@ -1,0 +1,78 @@
+"""Text and JSON reporters for lint reports."""
+
+import json
+from typing import Dict, List, Optional
+
+from repro.analyze.diagnostics import Diagnostic, LintReport, Severity
+
+_SEVERITY_ORDER = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
+
+
+def _sorted(diagnostics: List[Diagnostic]) -> List[Diagnostic]:
+    return sorted(
+        diagnostics,
+        key=lambda d: (_SEVERITY_ORDER[d.severity], d.code, d.isa,
+                       d.function, d.site if d.site is not None else -1,
+                       d.symbol),
+    )
+
+
+def render_text(report: LintReport, verbose: bool = False) -> str:
+    """Human-readable listing: errors first, then the summary line.
+
+    ``verbose`` includes info-severity notes (skipped functions,
+    unbounded loops without work) that are normally elided.
+    """
+    lines: List[str] = []
+    title = f"lint {report.subject}" if report.subject else "lint"
+    lines.append(f"== {title} ==")
+    shown = 0
+    for diag in _sorted(report.diagnostics):
+        if diag.severity is Severity.INFO and not verbose:
+            continue
+        lines.append("  " + diag.format())
+        shown += 1
+    hidden = len(report.diagnostics) - shown
+    if hidden:
+        lines.append(f"  ... {hidden} info note(s) hidden (use --verbose)")
+    lines.append("  " + report.summary())
+    return "\n".join(lines)
+
+
+def report_to_dict(report: LintReport) -> Dict:
+    """JSON-ready representation, stable enough to diff in CI."""
+    return {
+        "subject": report.subject,
+        "diagnostics": [
+            {
+                "code": d.code,
+                "severity": d.severity.value,
+                "pass": d.pass_name,
+                "isa": d.isa,
+                "function": d.function,
+                "site": d.site,
+                "symbol": d.symbol,
+                "message": d.message,
+                "fingerprint": d.fingerprint,
+            }
+            for d in _sorted(report.diagnostics)
+        ],
+        "suppressed": [d.fingerprint for d in _sorted(report.suppressed)],
+        "summary": {
+            "severities": report.counts_by_severity(),
+            "by_code": report.counts_by_code(),
+            "pass_checks": dict(report.pass_checks),
+            "total_checks": report.total_checks(),
+        },
+    }
+
+
+def render_json(
+    reports, indent: Optional[int] = 2
+) -> str:
+    """Serialise one report or a list of reports."""
+    if isinstance(reports, LintReport):
+        payload = report_to_dict(reports)
+    else:
+        payload = [report_to_dict(r) for r in reports]
+    return json.dumps(payload, indent=indent, sort_keys=True)

@@ -6,6 +6,7 @@ Usage (also available as ``python -m repro``)::
     python -m repro run is --cls A --threads 4 --migrate-at 3
     python -m repro layout cg --cls A
     python -m repro gaps ft --cls A
+    python -m repro lint --all --format json
     python -m repro schedule --pattern periodic --sets 5
 """
 
@@ -44,6 +45,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --validate: also check that every cross-ISA stack "
         "transform round-trips bit-exactly (A->B->A)",
     )
+    parser.add_argument(
+        "--lint", action="store_true",
+        help="run the migration-safety static analyzer over every binary "
+        "built by this command and fail on error-severity diagnostics",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available workloads")
@@ -62,6 +68,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     gaps = sub.add_parser("gaps", help="migration-point gap histograms (pre/post)")
     _add_workload_args(gaps, with_threads=False)
+
+    lint = sub.add_parser(
+        "lint", help="migration-safety static analysis of multi-ISA binaries")
+    lint.add_argument("workload", nargs="?", default=None,
+                      help="benchmark name, or use --all")
+    lint.add_argument("--all", action="store_true",
+                      help="lint every registered workload")
+    lint.add_argument("--cls", default="A", choices=("A", "B", "C"))
+    lint.add_argument("--threads", type=int, default=2)
+    lint.add_argument("--scale", type=float, default=0.01)
+    lint.add_argument("--format", default="text", choices=("text", "json"))
+    lint.add_argument("--verbose", action="store_true",
+                      help="include info-severity notes in text output")
+    lint.add_argument("--pass", dest="passes", action="append", default=None,
+                      metavar="NAME",
+                      help="run only the named pass (repeatable); see "
+                      "docs/lint.md")
+    lint.add_argument("--baseline", default=None, metavar="PATH",
+                      help="suppress diagnostics fingerprinted in this "
+                      "baseline file")
+    lint.add_argument("--write-baseline", default=None, metavar="PATH",
+                      help="write the surviving error fingerprints to a "
+                      "baseline file and exit 0")
 
     dump = sub.add_parser("dump", help="print a workload's IR in text form")
     _add_workload_args(dump, with_threads=True)
@@ -127,7 +156,10 @@ def cmd_run(args) -> int:
     from repro.telemetry import PowerRecorder
     from repro.workloads import build_workload
 
-    toolchain = Toolchain(target_gap=max(int(DEFAULT_TARGET_GAP * args.scale), 1000))
+    toolchain = Toolchain(
+        target_gap=max(int(DEFAULT_TARGET_GAP * args.scale), 1000),
+        lint=args.lint,
+    )
     binary = toolchain.build(
         build_workload(args.workload, args.cls, args.threads, args.scale)
     )
@@ -171,6 +203,10 @@ def cmd_run(args) -> int:
         from repro.telemetry.validation import default_log
 
         table.add_row("invariant checks", default_log().summary())
+    if args.lint:
+        from repro.telemetry.lintlog import default_lint_log
+
+        table.add_row("lint checks", default_lint_log().summary())
     print(table.render())
     return 0 if process.exit_code == 0 else 1
 
@@ -178,7 +214,7 @@ def cmd_run(args) -> int:
 def cmd_layout(args) -> int:
     from repro.workloads import build_workload
 
-    binary = Toolchain().build(
+    binary = Toolchain(lint=args.lint).build(
         build_workload(args.workload, args.cls, 1, args.scale)
     )
     table = Table(
@@ -212,7 +248,9 @@ def cmd_gaps(args) -> int:
 
     target = max(int(DEFAULT_TARGET_GAP * args.scale), 1000)
     for mode in ("boundary", "profiled"):
-        toolchain = Toolchain(migration_points=mode, target_gap=target)
+        toolchain = Toolchain(
+            migration_points=mode, target_gap=target, lint=args.lint
+        )
         binary = toolchain.build(
             build_workload(args.workload, args.cls, 1, args.scale)
         )
@@ -232,6 +270,57 @@ def cmd_gaps(args) -> int:
         ))
         print()
     return 0
+
+
+def cmd_lint(args) -> int:
+    from repro.analyze import Baseline, render_json, render_text, run_lint
+    from repro.telemetry.lintlog import default_lint_log
+    from repro.workloads import build_workload, workload_names
+
+    if args.all and args.workload:
+        print("error: give a workload name or --all, not both",
+              file=sys.stderr)
+        return 2
+    if not args.all and not args.workload:
+        print("error: a workload name (or --all) is required",
+              file=sys.stderr)
+        return 2
+    names = workload_names() if args.all else [args.workload]
+    baseline = Baseline.load(args.baseline) if args.baseline else Baseline()
+    # Lint is a reporting tool: build even modules the strict toolchain
+    # would refuse, so the coverage pass can flag them instead.
+    toolchain = Toolchain(
+        target_gap=max(int(DEFAULT_TARGET_GAP * args.scale), 1000),
+        allow_unmigratable=True,
+    )
+    log = default_lint_log()
+    reports = []
+    failed = False
+    for name in names:
+        subject = f"{name}.{args.cls}"
+        module = build_workload(name, args.cls, args.threads, args.scale)
+        report = run_lint(module, passes=args.passes, subject=subject)
+        if not any(d.code == "MIG001" for d in report.diagnostics):
+            binary = toolchain.build(module)
+            report = run_lint(binary, passes=args.passes, subject=subject)
+        report.apply_baseline(baseline)
+        log.note_report(report)
+        reports.append(report)
+        if report.error_count:
+            failed = True
+        if args.format == "text":
+            print(render_text(report, verbose=args.verbose))
+    if args.write_baseline:
+        wrote = Baseline.from_reports(reports)
+        wrote.save(args.write_baseline)
+        print(f"wrote {len(wrote.fingerprints)} suppression(s) to "
+              f"{args.write_baseline}")
+        return 0
+    if args.format == "json":
+        print(render_json(reports))
+    else:
+        print(log.summary())
+    return 1 if failed else 0
 
 
 def cmd_dump(args) -> int:
@@ -392,6 +481,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": cmd_run,
         "layout": cmd_layout,
         "gaps": cmd_gaps,
+        "lint": cmd_lint,
         "dump": cmd_dump,
         "schedule": cmd_schedule,
         "faults": cmd_faults,

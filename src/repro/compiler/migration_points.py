@@ -84,6 +84,7 @@ def insert_profiled_points(
         if not _migratable(fn):
             continue
         inserted += _chunk_work_in_function(fn, target_gap)
+        inserted += _point_work_cycles(fn)
     return inserted
 
 
@@ -131,6 +132,96 @@ def _chunk_work_in_function(fn: Function, target_gap: int) -> int:
         _strip_mine(fn, label, split_at, target_gap)
         inserted += 1
     return inserted
+
+
+def _point_work_cycles(fn: Function) -> int:
+    """Give every cycle that performs work a migration point.
+
+    Strip-mining bounds each individual burst, but a burst at or below
+    the target repeated by a source-level loop still accumulates an
+    unbounded point-free gap across iterations.  Any strongly connected
+    component of the CFG that contains a ``work`` instruction and no
+    migration point gets one, right after its first burst.
+    """
+    inserted = 0
+    succs = {label: fn.blocks[label].successors() for label in fn.block_order}
+    for component in _sccs(fn.block_order, succs):
+        if len(component) == 1 and component[0] not in succs[component[0]]:
+            continue  # trivial SCC, no self-loop: not a cycle
+        has_work = has_point = False
+        for label in component:
+            for instr in fn.blocks[label].instrs:
+                if isinstance(instr, Work):
+                    has_work = True
+                elif isinstance(instr, MigPoint):
+                    has_point = True
+        if not has_work or has_point:
+            continue
+        for label in sorted(component):
+            block = fn.blocks[label]
+            for i, instr in enumerate(block.instrs):
+                if isinstance(instr, Work):
+                    block.instrs.insert(
+                        i + 1,
+                        MigPoint(point_id=_next_point_id(fn), origin="profiled"),
+                    )
+                    inserted += 1
+                    break
+            else:
+                continue
+            break
+    return inserted
+
+
+def _sccs(order, succs) -> List[List[str]]:
+    """Iterative Tarjan over the CFG (workload CFGs can be deep)."""
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack = set()
+    stack: List[str] = []
+    out: List[List[str]] = []
+    counter = [0]
+
+    def strongconnect(v: str) -> None:
+        work = [(v, iter(succs.get(v, ())))]
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(succs.get(w, ()))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[node] = min(low[node], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component.append(w)
+                    if w == node:
+                        break
+                out.append(component)
+
+    for v in order:
+        if v not in index:
+            strongconnect(v)
+    return out
 
 
 def _strip_mine(fn: Function, label: str, index: int, chunk: int) -> None:

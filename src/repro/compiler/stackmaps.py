@@ -36,12 +36,23 @@ class StackMap:
     block: str
     index: int
     entries: List[StackMapEntry] = field(default_factory=list)
+    # Lazily built var -> entry index; rebuilt whenever the entry count
+    # changes, so the usual mutation (re-assigning ``entries``) stays
+    # safe without an explicit invalidation call.
+    _by_var: Optional[Dict[str, StackMapEntry]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def index_by_var(self) -> Dict[str, StackMapEntry]:
+        """The var -> entry index, built on first use and cached."""
+        by_var = self._by_var
+        if by_var is None or len(by_var) != len(self.entries):
+            by_var = {e.var: e for e in self.entries}
+            self._by_var = by_var
+        return by_var
 
     def entry_for(self, var: str) -> Optional[StackMapEntry]:
-        for entry in self.entries:
-            if entry.var == var:
-                return entry
-        return None
+        return self.index_by_var().get(var)
 
     @property
     def live_vars(self) -> List[str]:
@@ -55,11 +66,13 @@ def join_stackmaps(src: StackMap, dst: StackMap) -> List[tuple]:
     """Pair up (src_entry, dst_entry) for the variables live at a site.
 
     The two maps come from different ISAs but the same IR, so the live
-    sets agree; a mismatch indicates a toolchain bug and raises.
+    sets agree; a mismatch indicates a toolchain bug and raises.  Uses
+    the cached per-map indexes — the stack transformation runtime joins
+    every frame's maps on migration, so this is a hot path.
     """
-    src_by_var = {e.var: e for e in src.entries}
-    dst_by_var = {e.var: e for e in dst.entries}
-    if set(src_by_var) != set(dst_by_var):
+    src_by_var = src.index_by_var()
+    dst_by_var = dst.index_by_var()
+    if src_by_var.keys() != dst_by_var.keys():
         only_src = set(src_by_var) - set(dst_by_var)
         only_dst = set(dst_by_var) - set(src_by_var)
         raise ValueError(

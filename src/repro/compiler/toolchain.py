@@ -63,6 +63,11 @@ class MultiIsaBinary:
     global_addresses: Dict[str, int] = field(default_factory=dict)
     migration_point_count: int = 0
     site_count: int = 0
+    # Build intent, recorded for the static analyzer (repro.analyze):
+    # the migration-point insertion level and the responsiveness target
+    # the coverage pass lints against.
+    point_mode: str = "profiled"
+    target_gap: int = DEFAULT_TARGET_GAP
 
     @property
     def isa_names(self) -> List[str]:
@@ -113,6 +118,7 @@ class Toolchain:
         align: bool = True,
         allow_unmigratable: bool = False,
         opt_level: int = 0,
+        lint: bool = False,
     ):
         self.isas = list(isas) if isas is not None else list(ALL_ISAS.values())
         if not self.isas:
@@ -127,6 +133,10 @@ class Toolchain:
         if opt_level not in (0, 1, 2):
             raise ValueError(f"bad opt_level {opt_level}")
         self.opt_level = opt_level
+        # Opt-in link-time lint: run the repro.analyze migration-safety
+        # passes over the finished binary and refuse to ship one with
+        # error-severity diagnostics.
+        self.lint = lint
 
     def build(self, module: Module) -> MultiIsaBinary:
         validate_module(module)
@@ -180,7 +190,7 @@ class Toolchain:
             if not gv.thread_local
         }
 
-        return MultiIsaBinary(
+        binary = MultiIsaBinary(
             module=module,
             binaries=binaries,
             layout=layout,
@@ -190,7 +200,22 @@ class Toolchain:
             global_addresses=global_addresses,
             migration_point_count=inserted,
             site_count=site_count,
+            point_mode=self.migration_points,
+            target_gap=self.target_gap,
         )
+        if self.lint:
+            self._lint(binary)
+        return binary
+
+    def _lint(self, binary: "MultiIsaBinary") -> None:
+        """Fail-on-error migration-safety lint at link time."""
+        from repro.analyze import LintError, run_lint
+        from repro.telemetry.lintlog import default_lint_log
+
+        report = run_lint(binary)
+        default_lint_log().note_report(report)
+        if report.error_count:
+            raise LintError(report)
 
 
     def _check_supported(self, module: Module) -> None:

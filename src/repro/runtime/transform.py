@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.compiler.codegen import MachineFunction
-from repro.compiler.stackmaps import StackMap, StackMapEntry
+from repro.compiler.stackmaps import StackMap, StackMapEntry, join_stackmaps
 from repro.compiler.toolchain import MultiIsaBinary
 from repro.runtime.address_space import AddressSpace
 from repro.runtime.regmap import map_registers
@@ -229,14 +229,15 @@ class StackTransformer:
         self._copy_buffers(plan, stats)
 
     def _joined_entries(self, plan: _FramePlan):
-        src_by_var = {e.var: e for e in plan.stackmap_src.entries}
-        dst_by_var = {e.var: e for e in plan.stackmap_dst.entries}
-        if set(src_by_var) != set(dst_by_var):
+        # join_stackmaps works off each map's cached var index, so the
+        # per-frame join is O(live values), not O(n*m) rescans.
+        try:
+            return join_stackmaps(plan.stackmap_src, plan.stackmap_dst)
+        except ValueError as exc:
             raise TransformError(
                 f"live sets differ at site {plan.site_id} of "
-                f"{plan.src.function}"
-            )
-        return [(src_by_var[v], dst_by_var[v]) for v in sorted(src_by_var)]
+                f"{plan.src.function}: {exc}"
+            ) from None
 
     # ------------------------------------------------------ value moves
 

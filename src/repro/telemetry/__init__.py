@@ -6,6 +6,12 @@ Figure 11's traces and every energy integral in Figures 12-13.
 """
 
 from repro.telemetry.faultlog import FaultLog, FaultLogEntry
+from repro.telemetry.lintlog import (
+    LintLog,
+    LintRunRecord,
+    default_lint_log,
+    reset_default_lint_log,
+)
 from repro.telemetry.recorder import MachineTraces, PowerRecorder
 from repro.telemetry.validation import (
     ValidationLog,
@@ -19,8 +25,12 @@ __all__ = [
     "MachineTraces",
     "FaultLog",
     "FaultLogEntry",
+    "LintLog",
+    "LintRunRecord",
     "ValidationLog",
     "ViolationRecord",
+    "default_lint_log",
     "default_log",
+    "reset_default_lint_log",
     "reset_default_log",
 ]

@@ -1,0 +1,83 @@
+"""Telemetry for the static analyzer (:mod:`repro.analyze`).
+
+The run log's counterpart to :mod:`repro.telemetry.validation`: every
+lint that runs in a process (link-time via ``Toolchain(lint=True)`` or
+the ``repro lint`` command) records its per-pass check counts and its
+diagnostics by code here, so runs and lints share one reporting
+surface — the CLI prints both summaries side by side.
+"""
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class LintRunRecord:
+    """One lint invocation, flattened for reporting."""
+
+    subject: str
+    pass_checks: Dict[str, int] = field(default_factory=dict)
+    by_code: Dict[str, int] = field(default_factory=dict)
+    errors: int = 0
+    warnings: int = 0
+    infos: int = 0
+    suppressed: int = 0
+
+
+class LintLog:
+    """Aggregates lint reports across a process run."""
+
+    def __init__(self):
+        self.pass_checks: Counter = Counter()
+        self.by_code: Counter = Counter()
+        self.records: List[LintRunRecord] = []
+
+    def note_report(self, report) -> None:
+        """Record a :class:`repro.analyze.LintReport`."""
+        severities = report.counts_by_severity()
+        record = LintRunRecord(
+            subject=report.subject,
+            pass_checks=dict(report.pass_checks),
+            by_code=report.counts_by_code(),
+            errors=severities["error"],
+            warnings=severities["warning"],
+            infos=severities["info"],
+            suppressed=len(report.suppressed),
+        )
+        self.records.append(record)
+        self.pass_checks.update(record.pass_checks)
+        self.by_code.update(record.by_code)
+
+    def total_checks(self) -> int:
+        return sum(self.pass_checks.values())
+
+    def total_errors(self) -> int:
+        return sum(r.errors for r in self.records)
+
+    def summary(self) -> str:
+        passes = ", ".join(
+            f"{name}:{count}" for name, count in sorted(self.pass_checks.items())
+        )
+        codes = ", ".join(
+            f"{code}:{count}" for code, count in sorted(self.by_code.items())
+        )
+        return (
+            f"{len(self.records)} lint(s), {self.total_checks()} checks "
+            f"({passes or 'none'}); diagnostics: {codes or 'none'}"
+        )
+
+
+_DEFAULT = LintLog()
+
+
+def default_lint_log() -> LintLog:
+    """The process-wide log lints report into."""
+    return _DEFAULT
+
+
+def reset_default_lint_log() -> LintLog:
+    """Swap in a fresh default log (tests, CLI runs); returns it."""
+    global _DEFAULT
+    _DEFAULT = LintLog()
+    return _DEFAULT

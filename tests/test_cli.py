@@ -76,3 +76,47 @@ class TestCommands:
         ) == 0
         out = capsys.readouterr().out
         assert "fail-stop" in out
+
+
+class TestLint:
+    def test_lint_single_workload(self, capsys):
+        assert main(["lint", "is", "--scale", "0.002", "--threads", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "== lint is.A ==" in out
+        assert "0 errors" in out
+        assert "lint(s)" in out  # telemetry summary line
+
+    def test_lint_requires_target(self, capsys):
+        assert main(["lint"]) == 2
+        assert main(["lint", "is", "--all"]) == 2
+
+    def test_lint_unknown_workload(self):
+        assert main(["lint", "linpack"]) == 2
+
+    def test_lint_json(self, capsys):
+        import json
+
+        assert main(["lint", "ep", "--scale", "0.002", "--threads", "1",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["subject"] == "ep.A"
+        assert payload[0]["summary"]["severities"]["error"] == 0
+
+    def test_lint_pass_filter(self, capsys):
+        assert main(["lint", "ep", "--scale", "0.002", "--threads", "1",
+                     "--pass", "layout"]) == 0
+        assert "layout:" in capsys.readouterr().out
+
+    def test_lint_write_baseline(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "base.json"
+        assert main(["lint", "ep", "--scale", "0.002", "--threads", "1",
+                     "--write-baseline", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data == {"version": 1, "suppress": []}  # clean workload
+
+    def test_run_with_lint_flag(self, capsys):
+        assert main(["--lint", "run", "ep", "--cls", "A", "--threads", "1",
+                     "--scale", "0.002"]) == 0
+        assert "lint checks" in capsys.readouterr().out

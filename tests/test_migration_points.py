@@ -158,3 +158,35 @@ class TestGapProfile:
         text = profile.format_histogram("IS gaps")
         assert "IS gaps" in text
         assert "10^7" in text
+
+
+class TestWorkCyclePoints:
+    """A loop repeating a burst at or below the target must still get a
+    point on the cycle: the gap otherwise grows with the trip count."""
+
+    def _loop_burst_module(self, amount=50_000_000):
+        m = Module("loopburst")
+        fb = FunctionBuilder(m.function("main", [], VT.I64))
+        with fb.for_range("i", 0, 1000):
+            fb.work(amount, "int_alu")  # == target: never strip-mined
+        fb.ret(0)
+        m.entry = "main"
+        return m
+
+    def test_loop_with_subtarget_burst_gets_point(self):
+        m = self._loop_burst_module()
+        inserted = insert_profiled_points(m)
+        assert inserted == 1
+        assert _count_migpoints(m, "profiled") == 1
+
+    def test_idempotent(self):
+        m = self._loop_burst_module()
+        insert_profiled_points(m)
+        assert insert_profiled_points(m) == 0
+
+    def test_pointed_cycle_lints_clean(self):
+        from repro.analyze import run_lint
+
+        binary = Toolchain().build(self._loop_burst_module(amount=10_000_000))
+        report = run_lint(binary, passes=["coverage"])
+        assert not [d for d in report.diagnostics if d.code == "MIG041"]
