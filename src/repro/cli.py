@@ -123,6 +123,37 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--checkpoint-interval", type=float, default=60.0)
     faults.add_argument("--trace", action="store_true",
                         help="print the fault timelines")
+    faults.add_argument("--detector", action="store_true",
+                        help="detect crashes with a heartbeat/lease "
+                        "failure detector (measured MTTD, false "
+                        "suspicions, fencing) and run evacuations as "
+                        "two-phase hand-offs instead of omniscient "
+                        "instant recovery")
+    faults.add_argument("--heartbeat", type=float, default=0.5, metavar="S",
+                        help="detector heartbeat period in seconds")
+    faults.add_argument("--lease", type=float, default=1.5, metavar="S",
+                        help="suspicion-to-confirm lease in seconds")
+
+    chaos = sub.add_parser(
+        "chaos", help="deterministic crash-point enumeration over the "
+        "two-phase migration and hDSM recovery protocols")
+    chaos.add_argument("--workloads", default="is,ep", metavar="A,B,...",
+                       help="comma-separated registry workloads")
+    chaos.add_argument("--cls", default="A", choices=("A", "B", "C"))
+    chaos.add_argument("--threads", type=int, default=2)
+    chaos.add_argument("--scale", type=float, default=0.01)
+    chaos.add_argument("--migrate-at", type=int, default=2, metavar="N",
+                       help="migrate the process at the Nth migration point "
+                       "(the hand-off protocol is what chaos crashes into)")
+    chaos.add_argument("--dsm-backup", action="store_true",
+                       help="enable dirty-page backup-home replication "
+                       "(the recovery ablation)")
+    chaos.add_argument("--soak", type=int, default=0, metavar="N",
+                       help="additionally run N seeded random crash "
+                       "injections per workload")
+    chaos.add_argument("--seed", type=int, default=1234)
+    chaos.add_argument("--verbose", action="store_true",
+                       help="print every case, not just violations")
     return parser
 
 
@@ -416,9 +447,16 @@ def cmd_faults(args) -> int:
         return [make_xgene1("arm"), make_xeon_e5_1650v2("x86")]
 
     def run(faults=None, recovery=None):
+        detector = None
+        if args.detector and faults is not None:
+            from repro.faults import DetectorConfig, FailureDetector
+
+            detector = FailureDetector(DetectorConfig(
+                heartbeat_period_s=args.heartbeat, lease_s=args.lease,
+            ))
         sim = ClusterSimulator(
             machines(), make_policy("dynamic-balanced"),
-            faults=faults, recovery=recovery,
+            faults=faults, recovery=recovery, detector=detector,
         )
         if args.pattern == "sustained":
             specs, conc = sustained_backfill(
@@ -468,6 +506,32 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.faults import registry_scenario, run_chaos_suite
+
+    names = [n.strip() for n in args.workloads.split(",") if n.strip()]
+    if not names:
+        print("error: --workloads named no workloads", file=sys.stderr)
+        return 2
+    scenarios = [
+        registry_scenario(
+            name, cls=args.cls, threads=args.threads, scale=args.scale,
+            migrate_at=args.migrate_at, dsm_backup=args.dsm_backup,
+        )
+        for name in names
+    ]
+    reports = run_chaos_suite(
+        scenarios, soak_iterations=args.soak, seed=args.seed
+    )
+    violations = 0
+    for report in reports:
+        print(report.render(verbose=args.verbose))
+        violations += len(report.violations)
+    total = sum(len(r.cases) for r in reports)
+    print(f"chaos total: {total} armed runs, {violations} violations")
+    return 1 if violations else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.validate or args.validate_roundtrip:
@@ -485,6 +549,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "dump": cmd_dump,
         "schedule": cmd_schedule,
         "faults": cmd_faults,
+        "chaos": cmd_chaos,
     }[args.command]
     try:
         return handler(args)

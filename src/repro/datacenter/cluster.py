@@ -20,21 +20,38 @@ ARM board.  A crashed node draws no power until repaired.
 
 import heapq
 import itertools
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro import validate
 from repro.datacenter.energy import RunResult
 from repro.datacenter.job import Job, JobSpec, JobState, job_duration, migration_penalty
 from repro.datacenter.policies import SchedulingPolicy
+from repro.linker.layout import PAGE_SIZE
 from repro.machine.machine import Machine
 from repro.machine.mcpat import project_finfet
 from repro.telemetry.faultlog import FaultLog
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.detector import FailureDetector
     from repro.faults.inject import FaultSchedule
     from repro.faults.recovery import RecoveryPolicy
 
 DEFAULT_INTERCONNECT_BW = 64e9 / 8  # Dolphin PXH810
+
+
+@dataclass
+class Handoff:
+    """One in-flight two-phase job hand-off (cluster-level PREPARE
+    happened at ``prepared_at``; COMMIT is earliest at ``due_at``)."""
+
+    job: Job
+    src: str
+    dst: str
+    kind: str  # "evacuate" | "rebalance"
+    prepared_at: float
+    due_at: float
+    penalty: float
 
 
 class MachineNode:
@@ -89,6 +106,8 @@ class ClusterSimulator:
         project_arm_finfet: bool = True,
         faults: Optional["FaultSchedule"] = None,
         recovery: Optional["RecoveryPolicy"] = None,
+        detector: Optional["FailureDetector"] = None,
+        two_phase: Optional[bool] = None,
     ):
         if not machines:
             raise ValueError("cluster needs at least one machine")
@@ -133,6 +152,27 @@ class ClusterSimulator:
         self.lost_work_seconds = 0.0
         self.overhead_seconds = 0.0
         self.busy_seconds = 0.0
+
+        # ---- failure detection & two-phase hand-off (inert when off) ----
+        # With a detector, crashes are *detected* (heartbeats + lease)
+        # instead of known omnisciently: a crashed node's jobs sit in
+        # _undetected until the detector confirms the death.
+        self.detector = detector
+        self.two_phase = (
+            bool(two_phase) if two_phase is not None else detector is not None
+        )
+        self._undetected: Dict[str, List[Job]] = {}
+        self._fenced_alive: set = set()  # live nodes ostracised by a
+        # false confirm; they rejoin when heard again
+        self._in_flight: List[Handoff] = []
+        self._mttd_samples: List[float] = []
+        self.handoffs = 0
+        self.handoffs_aborted = 0
+        self.handoff_seconds = 0.0
+        self.lost_page_count = 0
+        if self.detector is not None:
+            self.detector.reset([n.name for n in self.nodes], now=0.0)
+            self._push_event(self.detector.period, "hb", None)
         # Opt-in conservation audit (REPRO_VALIDATE): None when off.
         self._checker = validate.make_cluster_checker()
 
@@ -262,9 +302,24 @@ class ClusterSimulator:
         )
 
     def _next_fault_dt(self) -> Optional[float]:
-        if not self._event_heap:
-            return None
-        return max(self._event_heap[0][0] - self.now, 0.0)
+        while self._event_heap:
+            head = self._event_heap[0]
+            if head[2] == "hb" and not self._heartbeats_matter():
+                # Nothing left that a heartbeat round could detect or
+                # unblock: let the recurring chain die so quiescent
+                # runs terminate instead of ticking forever.
+                heapq.heappop(self._event_heap)
+                continue
+            return max(head[0] - self.now, 0.0)
+        return None
+
+    def _heartbeats_matter(self) -> bool:
+        if self._undetected or self._in_flight or self._fenced_alive:
+            return True
+        if self.detector is not None and self.detector.pending():
+            return True
+        # Any scheduled non-heartbeat event can still create suspicions.
+        return any(kind != "hb" for _, _, kind, _ in self._event_heap)
 
     def _apply_due_faults(self) -> bool:
         """Dispatch every fault event due at (or before) ``now``."""
@@ -273,11 +328,22 @@ class ClusterSimulator:
             _, _, kind, payload = heapq.heappop(self._event_heap)
             self._dispatch_fault(kind, payload)
             applied = True
+        if applied and self._in_flight:
+            self._pump_handoffs()
         if applied and self.parked and self.recovery is not None:
             self.recovery.try_unpark(self)
         return applied
 
     def _dispatch_fault(self, kind: str, event: object) -> None:
+        if kind == "hb":
+            # Heartbeat rounds are protocol traffic, not faults: they
+            # are excluded from the fault_events count.
+            self._run_detector()
+            self._push_event(self.now + self.detector.period, "hb", None)
+            return
+        if kind == "handoff":
+            self._pump_handoffs()
+            return
         self.fault_events += 1
         if kind == "crash":
             self._apply_crash(event)
@@ -295,6 +361,7 @@ class ClusterSimulator:
         elif kind == "degrade-end":
             self._degradations.remove(event)
             self.fault_log.record(self.now, "degrade-end")
+            self._attempt_rejoins()
         elif kind == "partition":
             island = tuple(event.island)
             self._partitions.append(island)
@@ -305,6 +372,7 @@ class ClusterSimulator:
         elif kind == "heal":
             self._partitions.remove(event)
             self.fault_log.record(self.now, "heal", detail=f"island {event}")
+            self._attempt_rejoins()
         else:
             raise ValueError(f"unknown fault event kind {kind!r}")
 
@@ -313,6 +381,21 @@ class ClusterSimulator:
         if node is None:
             raise KeyError(f"fault schedule names unknown node {event.node!r}")
         if not node.up:
+            if node.name in self._fenced_alive:
+                # An ostracised-but-live node really died.  Its jobs
+                # were already reclaimed at fencing time; record the
+                # death so it can never rejoin from the fence.
+                self._fenced_alive.discard(node.name)
+                self._crash_since[node.name] = self.now
+                self.fault_log.record(
+                    self.now, "crash", node=node.name,
+                    detail="crashed while fenced",
+                )
+                if not event.permanent:
+                    self._push_event(
+                        self.now + event.repair_seconds, "repair", node.name
+                    )
+                return
             self.fault_log.record(
                 self.now, "crash", node=node.name, detail="already down"
             )
@@ -332,7 +415,11 @@ class ClusterSimulator:
                 self.now + event.repair_seconds, "repair", node.name
             )
         if victims:
-            if self.recovery is not None:
+            if self.detector is not None:
+                # Nobody knows yet: the jobs are in limbo until the
+                # detector confirms the death (that latency is the MTTD).
+                self._undetected[node.name] = victims
+            elif self.recovery is not None:
                 self.recovery.on_crash(self, node, victims)
             else:
                 for job in victims:
@@ -346,7 +433,218 @@ class ClusterSimulator:
         crashed_at = self._crash_since.pop(name, None)
         if crashed_at is not None:
             self._mttr_samples.append(self.now - crashed_at)
+        if self.detector is not None:
+            self.detector.clear(name, self.now)
         self.fault_log.record(self.now, "repair", node=name)
+        victims = self._undetected.pop(name, None)
+        if victims:
+            # Repaired before the detector ever confirmed the crash —
+            # the node is back but its memory is gone, so the victims
+            # enter recovery only now.
+            if self.recovery is not None:
+                self.recovery.on_crash(self, node, victims)
+            else:
+                for job in victims:
+                    self.lose_job(job)
+
+    # --------------------------------------- failure detection rounds
+
+    def _latency_stretch(self) -> float:
+        stretch = 1.0
+        for degradation in self._degradations:
+            stretch *= getattr(degradation, "latency_factor", 1.0)
+        return stretch
+
+    def _majority_cell(self) -> frozenset:
+        """The partition cell whose verdicts count (largest; ties break
+        toward the cell holding the smallest node name)."""
+        names = [n.name for n in self.nodes]
+        cells = {
+            frozenset(m for m in names if self.reachable(name, m))
+            for name in names
+        }
+        return sorted(cells, key=lambda c: (-len(c), min(c)))[0]
+
+    def _heartbeat_heard(self, name: str) -> bool:
+        """Did the observer majority hear ``name`` this round?"""
+        if (
+            self.detector is not None
+            and self._latency_stretch()
+            >= self.detector.config.degradation_miss_factor
+        ):
+            return False  # heartbeats arrive after their timeout
+        if self._partitions and name not in self._majority_cell():
+            return False  # cut off from the majority: unheard, not dead
+        return True
+
+    def _run_detector(self) -> None:
+        detector = self.detector
+        heard: Dict[str, bool] = {}
+        alive: Dict[str, bool] = {}
+        for node in self.nodes:
+            name = node.name
+            truly_alive = name not in self._crash_since
+            alive[name] = truly_alive
+            heard[name] = truly_alive and self._heartbeat_heard(name)
+        for name in sorted(self._fenced_alive):
+            if heard.get(name):
+                self._rejoin(name)
+        for event, name in detector.observe(self.now, heard, alive):
+            if event == "suspect":
+                detail = "unheard"
+                if alive[name]:
+                    detail = "false suspicion (node is alive)"
+                self.fault_log.record(
+                    self.now, "suspect", node=name, detail=detail
+                )
+            elif event == "unsuspect":
+                self.fault_log.record(self.now, "unsuspect", node=name)
+            elif event == "confirm":
+                self._confirm_dead(name)
+
+    def _confirm_dead(self, name: str) -> None:
+        """The lease expired: the cluster now acts on the death verdict."""
+        node = self._node_index[name]
+        crashed_at = self._crash_since.get(name)
+        if crashed_at is not None:
+            # A real crash, finally detected.
+            mttd = self.now - crashed_at
+            self._mttd_samples.append(mttd)
+            self.fault_log.record(
+                self.now, "confirm", node=name,
+                detail=f"dead, detected after {mttd:.2f}s",
+            )
+            victims = self._undetected.pop(name, [])
+        elif node.up:
+            # False confirm: a live node's lease expired.  Fencing makes
+            # the verdict safe — the node stops acting until it rejoins —
+            # at the price of treating its jobs as crashed.
+            node.up = False
+            self._fenced_alive.add(name)
+            victims = node.jobs
+            node.jobs = []
+            self.fault_log.record(
+                self.now, "fence", node=name,
+                detail="lease expired on a live node (false confirm)",
+            )
+        else:
+            return
+        if victims:
+            if self.recovery is not None:
+                self.recovery.on_crash(self, node, victims)
+            else:
+                for job in victims:
+                    self.lose_job(job)
+        if self._in_flight:
+            self._pump_handoffs()
+
+    def _attempt_rejoins(self) -> None:
+        for name in sorted(self._fenced_alive):
+            if name not in self._crash_since and self._heartbeat_heard(name):
+                self._rejoin(name)
+
+    def _rejoin(self, name: str) -> None:
+        node = self._node_index[name]
+        node.up = True
+        self._fenced_alive.discard(name)
+        if self.detector is not None:
+            self.detector.clear(name, self.now)
+        self.fault_log.record(
+            self.now, "rejoin", node=name, detail="fenced node heard again"
+        )
+        if self.parked and self.recovery is not None:
+            self.recovery.try_unpark(self)
+
+    # ------------------------------------------- two-phase job hand-off
+
+    def placement_nodes(self) -> List[MachineNode]:
+        """Nodes jobs may be placed on: live, and (with a detector) not
+        currently suspected — placing work on a node the detector is
+        about to fence would hand it straight to the next confirm."""
+        if self.detector is None:
+            return self.live_nodes()
+        return [
+            n
+            for n in self.nodes
+            if n.up
+            and not self.detector.is_suspected(n.name)
+            and not self.detector.is_fenced(n.name)
+        ]
+
+    def begin_handoff(
+        self, job: Job, src_name: str, dst: MachineNode, kind: str = "evacuate"
+    ) -> Handoff:
+        """PREPARE a job hand-off; COMMIT happens when the transfer is
+        due and the destination is still alive, else it aborts."""
+        penalty = migration_penalty(job.spec, self.effective_bandwidth())
+        job.state = JobState.PENDING
+        job.machine = None
+        handoff = Handoff(
+            job=job,
+            src=src_name,
+            dst=dst.name,
+            kind=kind,
+            prepared_at=self.now,
+            due_at=self.now + penalty,
+            penalty=penalty,
+        )
+        self._in_flight.append(handoff)
+        self._push_event(handoff.due_at, "handoff", handoff)
+        self.handoffs += 1
+        self.fault_log.record(
+            self.now, "handoff-begin", node=dst.name,
+            detail=f"{job.spec} {src_name}->{dst.name} ({kind}, "
+            f"{penalty * 1e3:.1f} ms in flight)",
+        )
+        return handoff
+
+    def _pump_handoffs(self) -> None:
+        remaining: List[Handoff] = []
+        for handoff in self._in_flight:
+            dst_node = self._node_index[handoff.dst]
+            if not dst_node.up:
+                self._abort_handoff(handoff)
+            elif self.now + 1e-9 >= handoff.due_at:
+                if self.reachable(handoff.src, handoff.dst):
+                    self._commit_handoff(handoff, dst_node)
+                else:
+                    remaining.append(handoff)  # stalled by a partition
+            else:
+                remaining.append(handoff)
+        self._in_flight = remaining
+
+    def _commit_handoff(self, handoff: Handoff, dst_node: MachineNode) -> None:
+        job = handoff.job
+        self._start(job, dst_node)
+        job.migrations += 1
+        self.migrations += 1
+        self.handoff_seconds += self.now - handoff.prepared_at
+        if handoff.kind == "evacuate":
+            job.evacuations += 1
+            self.jobs_evacuated += 1
+        self.fault_log.record(
+            self.now, "handoff-commit", node=dst_node.name,
+            detail=f"{job.spec} resumed after "
+            f"{(self.now - handoff.prepared_at) * 1e3:.1f} ms in flight",
+        )
+
+    def _abort_handoff(self, handoff: Handoff) -> None:
+        """Destination died in flight: exactly one copy rule says the
+        source-side state is still the job — re-drain or park it."""
+        job = handoff.job
+        self.handoffs_aborted += 1
+        self.fault_log.record(
+            self.now, "handoff-abort", node=handoff.dst,
+            detail=f"{job.spec}: destination died in flight",
+        )
+        targets = [
+            n for n in self.placement_nodes() if n.name != handoff.dst
+        ]
+        if not targets:
+            self.park(job, None, reason="hand-off aborted, no live target")
+            return
+        dst = self.policy.place(job, targets)
+        self.begin_handoff(job, handoff.src, dst, handoff.kind)
 
     def park(self, job: Job, required_isa: Optional[str], reason: str = "") -> None:
         """Queue a job until a node satisfying ``required_isa`` is up."""
@@ -369,6 +667,12 @@ class ClusterSimulator:
             if wasted > 0.0:
                 job.lost_seconds += wasted
                 self.lost_work_seconds += wasted
+        if job.state is JobState.RUNNING:
+            # Every dirty page of a fail-stopped job's working set had
+            # its sole copy on the dead node: loudly lost, not silently
+            # refetched (mirrors LostPageError at the kernel layer).
+            params = job.spec.profile().params(job.spec.cls)
+            self.lost_page_count += params.footprint_bytes // PAGE_SIZE
         job.state = JobState.FAILED
         job.machine = None
         self.jobs_lost += 1
@@ -445,7 +749,13 @@ class ClusterSimulator:
         total = len(schedule)
         if self._checker is not None:
             self._checker.begin(total)
-        while idx < total or any(n.jobs for n in self.nodes) or self.parked:
+        while (
+            idx < total
+            or any(n.jobs for n in self.nodes)
+            or self.parked
+            or self._in_flight
+            or self._undetected
+        ):
             next_arrival = schedule[idx].arrival if idx < total else None
             dt_done = self._next_completion_dt()
             candidates = []
@@ -508,4 +818,18 @@ class ClusterSimulator:
             ),
             goodput=useful / self.now if self.now > 0 else 0.0,
             fault_trace=list(self.fault_log.entries),
+            mttd=(
+                sum(self._mttd_samples) / len(self._mttd_samples)
+                if self._mttd_samples
+                else 0.0
+            ),
+            false_suspicions=(
+                self.detector.stats.false_suspicions
+                if self.detector is not None
+                else 0
+            ),
+            lost_pages=self.lost_page_count,
+            handoffs=self.handoffs,
+            handoffs_aborted=self.handoffs_aborted,
+            handoff_seconds=self.handoff_seconds,
         )

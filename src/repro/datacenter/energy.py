@@ -29,6 +29,13 @@ class RunResult:
     mttr: float = 0.0  # mean crash-to-repair time over repaired nodes
     goodput: float = 0.0  # useful seconds per wall second
     fault_trace: List = field(default_factory=list)  # FaultLogEntry list
+    # ---- failure detection & two-phase hand-off (crash consistency) ----
+    mttd: float = 0.0  # mean crash-to-confirmed-dead time (0 = omniscient)
+    false_suspicions: int = 0  # live nodes suspected (partition/degradation)
+    lost_pages: int = 0  # dirty pages whose only copy died with a node
+    handoffs: int = 0  # two-phase hand-offs begun
+    handoffs_aborted: int = 0  # rolled back (destination died mid-flight)
+    handoff_seconds: float = 0.0  # summed in-flight (PREPARE->COMMIT) time
 
     @property
     def total_energy(self) -> float:

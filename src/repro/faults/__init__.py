@@ -13,6 +13,21 @@ All defaults are lossless/fault-free, so wiring the layer through the
 stack changes no seed numbers until a fault is actually scheduled.
 """
 
+from repro.faults.chaos import (
+    ChaosCase,
+    ChaosHarness,
+    ChaosReport,
+    ChaosScenario,
+    CrashInjector,
+    ProtocolSite,
+    registry_scenario,
+    run_chaos_suite,
+)
+from repro.faults.detector import (
+    DetectorConfig,
+    DetectorStats,
+    FailureDetector,
+)
 from repro.faults.inject import (
     DeliveryTimeout,
     FaultSchedule,
@@ -65,4 +80,15 @@ __all__ = [
     "render_recovery_comparison",
     "render_fault_timeline",
     "goodput_summary",
+    "DetectorConfig",
+    "DetectorStats",
+    "FailureDetector",
+    "ChaosCase",
+    "ChaosHarness",
+    "ChaosReport",
+    "ChaosScenario",
+    "CrashInjector",
+    "ProtocolSite",
+    "registry_scenario",
+    "run_chaos_suite",
 ]

@@ -1,0 +1,377 @@
+"""Deterministic chaos harness for the kernel-level crash protocols.
+
+The two-phase migration hand-off (:mod:`repro.kernel.migration`) and the
+hDSM fault paths (:mod:`repro.kernel.dsm`) announce every crashable
+protocol step through :meth:`~repro.kernel.messages.MessagingLayer.chaos_step`.
+This harness turns those announcements into a systematic experiment:
+
+1. **Reference run** — the scenario executes with no chaos hook at all
+   (the exact seed code path); its output and exit code are the oracle.
+2. **Recording run** — a :class:`CrashInjector` listens to the
+   announcement stream and records every :class:`ProtocolSite` (step
+   name + participating kernels), without crashing anything.  The run
+   must reproduce the reference output, or the harness itself is broken.
+3. **Armed runs** — one fresh run per (site, victim kernel): the
+   injector crashes the victim via ``PopcornSystem.crash_kernel`` the
+   moment that step announces itself, then the run is classified:
+
+   * ``completed`` — the process survived the crash and produced the
+     reference output (the protocol recovered: aborted hand-off, resume
+     token promotion, directory scrub + refetch);
+   * ``failed-loud`` — the process failed *visibly*
+     (``process.failure`` records why: thread died with its kernel,
+     sole-copy dirty page lost, ...) — acceptable: crashes may lose
+     work, never silently corrupt it;
+   * ``violation`` — anything else: silently wrong output, an
+     :class:`~repro.validate.errors.InvariantViolation`, a stale route
+     to a fenced kernel, or unaccounted interconnect bytes.
+
+Every armed run executes with invariant checking force-enabled and ends
+with :func:`repro.validate.check_crash_consistency` (exactly-one-copy
+thread conservation + no-dead-routes) and a byte-conservation audit
+(every interconnect byte attributable to a message kind).
+
+A seeded **soak mode** layers randomized (site, victim) picks on top of
+the exhaustive enumeration, for longer runs in CI.
+"""
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro import validate
+from repro.kernel import boot_testbed
+from repro.runtime.execution import EngineHooks, ExecutionEngine
+from repro.sim.rng import DeterministicRng
+from repro.validate.errors import InvariantViolation
+
+COMPLETED = "completed"
+FAILED_LOUD = "failed-loud"
+VIOLATION = "violation"
+
+
+@dataclass(frozen=True)
+class ProtocolSite:
+    """One announced crashable protocol step in a recorded trace."""
+
+    seq: int  # position in the announcement stream (deterministic)
+    step: str  # e.g. "migrate.transfer", "dsm.page"
+    roles: Tuple[Tuple[str, str], ...]  # (role, kernel), sorted by role
+
+    @property
+    def victims(self) -> List[str]:
+        """Kernels participating in the step (crash candidates)."""
+        return sorted({kernel for _, kernel in self.roles})
+
+    @property
+    def key(self) -> Tuple:
+        """Dedup key: same step + same participants = same crash case."""
+        return (self.step, self.roles)
+
+    def describe(self) -> str:
+        parts = ", ".join(f"{role}={kernel}" for role, kernel in self.roles)
+        return f"#{self.seq} {self.step}({parts})"
+
+
+class CrashInjector:
+    """The ``messaging.chaos`` hook: records sites; crashes when armed."""
+
+    def __init__(self, system):
+        self.system = system
+        self.sites: List[ProtocolSite] = []
+        self.fired: Optional[ProtocolSite] = None
+        self._seq = 0
+        self._armed_seq: Optional[int] = None
+        self._victim: Optional[str] = None
+
+    def arm(self, seq: int, victim: str) -> None:
+        """Crash ``victim`` when announcement number ``seq`` arrives."""
+        self._armed_seq = seq
+        self._victim = victim
+
+    def at_step(self, step: str, roles: Dict[str, str]) -> bool:
+        seq = self._seq
+        self._seq += 1
+        site = ProtocolSite(
+            seq, step, tuple(sorted(roles.items()))
+        )
+        self.sites.append(site)
+        if self._armed_seq == seq:
+            self._armed_seq = None  # one shot: the token applies once
+            self.fired = site
+            self.system.crash_kernel(self._victim)
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One workload + migration schedule to enumerate crashes over."""
+
+    name: str
+    binary_factory: Callable  # () -> MultiIsaBinary
+    start: str = "x86-server"
+    migrate_at: Optional[int] = 2  # migrate at the Nth migration point
+    argv: Tuple[float, ...] = ()
+    dsm_backup: bool = False  # backup-home dirty-page replication ablation
+
+
+@dataclass
+class ChaosCase:
+    """The classified outcome of one armed run."""
+
+    scenario: str
+    site: ProtocolSite
+    victim: str
+    outcome: str  # COMPLETED | FAILED_LOUD | VIOLATION
+    detail: str = ""
+
+    def describe(self) -> str:
+        tail = f": {self.detail}" if self.detail else ""
+        return (
+            f"[{self.outcome:<11}] {self.scenario} crash {self.victim} "
+            f"at {self.site.describe()}{tail}"
+        )
+
+
+@dataclass
+class ChaosReport:
+    """All cases for one scenario (plus optional soak iterations)."""
+
+    scenario: str
+    sites_announced: int = 0
+    sites_enumerated: int = 0
+    cases: List[ChaosCase] = field(default_factory=list)
+
+    @property
+    def violations(self) -> List[ChaosCase]:
+        return [c for c in self.cases if c.outcome == VIOLATION]
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for c in self.cases if c.outcome == COMPLETED)
+
+    @property
+    def failed_loud(self) -> int:
+        return sum(1 for c in self.cases if c.outcome == FAILED_LOUD)
+
+    def render(self, verbose: bool = False) -> str:
+        lines = [
+            f"chaos {self.scenario}: {self.sites_announced} protocol steps "
+            f"announced, {self.sites_enumerated} distinct crash points, "
+            f"{len(self.cases)} armed runs -> "
+            f"{self.completed} completed, {self.failed_loud} failed loud, "
+            f"{len(self.violations)} VIOLATIONS"
+        ]
+        shown = self.cases if verbose else self.violations
+        lines.extend("  " + case.describe() for case in shown)
+        return "\n".join(lines)
+
+
+class ChaosHarness:
+    """Enumerates crash points for one scenario and classifies each."""
+
+    def __init__(self, scenario: ChaosScenario):
+        self.scenario = scenario
+        # One build serves every run: the loader gives each process a
+        # fresh address space, so the binary itself is immutable.
+        self.binary = scenario.binary_factory()
+        self._reference: Optional[Tuple[List[float], Optional[int]]] = None
+
+    # ------------------------------------------------------------- runs
+
+    def _run_once(
+        self, armed: Optional[Tuple[int, str]] = None, chaos: bool = True
+    ):
+        """One full engine run; returns (system, process, injector)."""
+        scenario = self.scenario
+        system = boot_testbed()
+        system.dsm_backup = scenario.dsm_backup
+        injector = None
+        if chaos:
+            injector = CrashInjector(system)
+            system.messaging.chaos = injector
+            if armed is not None:
+                injector.arm(*armed)
+        process = system.exec_process(
+            self.binary, scenario.start, argv=list(scenario.argv)
+        )
+        hooks = EngineHooks()
+        hits = [0]
+
+        def on_point(thread, fn, point_id, instrs):
+            hits[0] += 1
+            if scenario.migrate_at is not None and hits[0] == scenario.migrate_at:
+                others = [
+                    m
+                    for m in system.machine_order
+                    if m != thread.machine_name
+                ]
+                system.request_migration(process, others[0])
+
+        hooks.on_migration_point = on_point
+        ExecutionEngine(system, process, hooks).run()
+        return system, process, injector
+
+    def reference(self) -> Tuple[List[float], Optional[int]]:
+        """Fault-free oracle (no chaos hook attached at all)."""
+        if self._reference is None:
+            _, process, _ = self._run_once(chaos=False)
+            self._reference = (list(process.output), process.exit_code)
+        return self._reference
+
+    def record_sites(self) -> List[ProtocolSite]:
+        """Unarmed recording run; asserts it matches the reference."""
+        ref_out, ref_code = self.reference()
+        _, process, injector = self._run_once()
+        if list(process.output) != ref_out or process.exit_code != ref_code:
+            raise InvariantViolation(
+                "chaos", "recording-run-deterministic",
+                f"unarmed chaos run of {self.scenario.name} diverged from "
+                f"the reference (the announcement hook must be inert)",
+                {
+                    "reference": (ref_out, ref_code),
+                    "recorded": (list(process.output), process.exit_code),
+                },
+            )
+        return injector.sites
+
+    # -------------------------------------------------- classification
+
+    def run_case(self, site: ProtocolSite, victim: str) -> ChaosCase:
+        """One armed run: crash ``victim`` at ``site``, classify."""
+        ref_out, ref_code = self.reference()
+        forced_before = validate._forced
+        validate.set_enabled(True)
+        try:
+            system, process, injector = self._run_once(
+                armed=(site.seq, victim)
+            )
+        except InvariantViolation as exc:
+            return ChaosCase(
+                self.scenario.name, site, victim, VIOLATION,
+                f"{exc.invariant}: {exc}",
+            )
+        except Exception as exc:  # noqa: BLE001 — anything loose is a bug
+            return ChaosCase(
+                self.scenario.name, site, victim, VIOLATION,
+                f"unexpected {type(exc).__name__}: {exc}",
+            )
+        finally:
+            validate.set_enabled(forced_before)
+
+        if injector.fired is None:
+            return ChaosCase(
+                self.scenario.name, site, victim, VIOLATION,
+                "armed crash point was never reached (protocol trace "
+                "is not deterministic)",
+            )
+        detail = self._audit(system, process)
+        if detail is not None:
+            return ChaosCase(
+                self.scenario.name, site, victim, VIOLATION, detail
+            )
+        if process.failure is not None:
+            return ChaosCase(
+                self.scenario.name, site, victim, FAILED_LOUD,
+                process.failure,
+            )
+        if list(process.output) != ref_out or process.exit_code != ref_code:
+            return ChaosCase(
+                self.scenario.name, site, victim, VIOLATION,
+                f"silent divergence: output {list(process.output)!r} "
+                f"exit {process.exit_code!r} vs reference {ref_out!r} "
+                f"exit {ref_code!r}",
+            )
+        return ChaosCase(self.scenario.name, site, victim, COMPLETED)
+
+    def _audit(self, system, process) -> Optional[str]:
+        """Post-run crash-consistency + byte-conservation invariants."""
+        try:
+            validate.check_crash_consistency(system, [process])
+        except InvariantViolation as exc:
+            return f"{exc.invariant}: {exc}"
+        wire = sum(system.messaging.bytes_by_kind.values())
+        recorded = system.interconnect.bytes_sent
+        if wire != recorded:
+            return (
+                f"byte conservation: interconnect recorded {recorded} B "
+                f"but message kinds account for {wire} B"
+            )
+        return None
+
+    # ------------------------------------------------------ experiments
+
+    def enumerate(self) -> ChaosReport:
+        """Exhaustive: one armed run per distinct (crash point, victim)."""
+        sites = self.record_sites()
+        report = ChaosReport(self.scenario.name, sites_announced=len(sites))
+        seen = set()
+        for site in sites:
+            if site.key in seen:
+                continue  # same step + same participants already covered
+            seen.add(site.key)
+            report.sites_enumerated += 1
+            for victim in site.victims:
+                report.cases.append(self.run_case(site, victim))
+        return report
+
+    def soak(self, iterations: int, seed: int = 1234) -> ChaosReport:
+        """Seeded random (site, victim) picks over the recorded trace."""
+        sites = self.record_sites()
+        report = ChaosReport(self.scenario.name, sites_announced=len(sites))
+        report.sites_enumerated = len({s.key for s in sites})
+        if not sites:
+            return report
+        stream = DeterministicRng(seed).stream(
+            f"chaos.soak.{self.scenario.name}"
+        )
+        for _ in range(iterations):
+            site = sites[stream.randrange(len(sites))]
+            victims = site.victims
+            victim = victims[stream.randrange(len(victims))]
+            report.cases.append(self.run_case(site, victim))
+        return report
+
+
+def registry_scenario(
+    workload: str,
+    cls: str = "A",
+    threads: int = 2,
+    scale: float = 0.01,
+    migrate_at: Optional[int] = 2,
+    dsm_backup: bool = False,
+) -> ChaosScenario:
+    """A scenario over a registry workload at a small, CI-sized scale."""
+    from repro.compiler import Toolchain
+    from repro.compiler.migration_points import DEFAULT_TARGET_GAP
+    from repro.workloads import build_workload
+
+    def factory():
+        toolchain = Toolchain(
+            target_gap=max(int(DEFAULT_TARGET_GAP * scale), 1000)
+        )
+        return toolchain.build(build_workload(workload, cls, threads, scale))
+
+    return ChaosScenario(
+        name=f"{workload}.{cls}x{threads}",
+        binary_factory=factory,
+        migrate_at=migrate_at,
+        dsm_backup=dsm_backup,
+    )
+
+
+def run_chaos_suite(
+    scenarios: List[ChaosScenario],
+    soak_iterations: int = 0,
+    seed: int = 1234,
+) -> List[ChaosReport]:
+    """Enumerate (and optionally soak) every scenario."""
+    reports = []
+    for scenario in scenarios:
+        harness = ChaosHarness(scenario)
+        report = harness.enumerate()
+        if soak_iterations > 0:
+            soaked = harness.soak(soak_iterations, seed=seed)
+            report.cases.extend(soaked.cases)
+        reports.append(report)
+    return reports

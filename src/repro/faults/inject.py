@@ -28,11 +28,22 @@ class DeliveryTimeout(RuntimeError):
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Reliable-delivery knobs charged on every lost/corrupted message."""
+    """Reliable-delivery knobs charged on every lost/corrupted message.
+
+    Backoff uses *decorrelated jitter* by default: each wait is drawn
+    uniformly from [base, 3 x previous wait], capped at
+    ``max_backoff_s``.  Bare ``2 ** attempt`` growth is unbounded and
+    synchronizes retries across senders during a degraded window —
+    every sender that lost a message at t0 would retransmit at exactly
+    t0 + base, t0 + 2*base, ... in lock-step.  Set ``jitter=False`` for
+    the plain (still capped) exponential schedule.
+    """
 
     max_retries: int = 4
     ack_timeout_s: float = 200e-6  # sender waits this long before resending
-    backoff_base_s: float = 100e-6  # doubled on every further attempt
+    backoff_base_s: float = 100e-6  # first wait; grows per attempt
+    max_backoff_s: float = 5e-3  # cap on any single backoff wait
+    jitter: bool = True  # decorrelated jitter vs. plain exponential
 
 
 class FaultSchedule:
@@ -95,9 +106,12 @@ class FaultyMessagingLayer(MessagingLayer):
         self.inner = inner
         # Alias the wrapped layer's counters: wire traffic (retries
         # included) shows up in one place regardless of which handle
-        # the caller holds.
+        # the caller holds.  Fencing and the chaos hook are likewise
+        # shared — a kernel fenced through either handle is fenced on
+        # both.
         self.counts = inner.counts
         self.bytes_by_kind = inner.bytes_by_kind
+        self.fenced = inner.fenced
         self.rng = rng
         self.loss_probability = loss_probability
         self.corruption_probability = corruption_probability
@@ -114,7 +128,9 @@ class FaultyMessagingLayer(MessagingLayer):
         if self.loss_probability <= 0.0 and self.corruption_probability <= 0.0:
             return total  # lossless default: bit-identical to the seed path
         stream = self.rng.stream(self.stream_name)
+        retry = self.retry
         attempt = 0
+        prev_backoff = retry.backoff_base_s
         while True:
             lost = stream.random() < self.loss_probability
             corrupt = (
@@ -128,18 +144,38 @@ class FaultyMessagingLayer(MessagingLayer):
                 self.dropped += 1
             else:
                 self.corrupted += 1  # checksum failure: treat as a loss
-            if attempt >= self.retry.max_retries:
+            if attempt >= retry.max_retries:
                 raise DeliveryTimeout(
                     f"{kind} {src}->{dst} undeliverable after "
                     f"{attempt + 1} attempts"
                 )
-            total += (
-                self.retry.ack_timeout_s
-                + self.retry.backoff_base_s * (2 ** attempt)
-            )
+            if retry.jitter:
+                # Decorrelated jitter (drawn from the same RNG stream as
+                # the loss decisions, so runs stay seed-deterministic):
+                # uniform in [base, 3 x previous wait], then capped.
+                span = max(3.0 * prev_backoff - retry.backoff_base_s, 0.0)
+                backoff = retry.backoff_base_s + stream.random() * span
+            else:
+                backoff = retry.backoff_base_s * (2 ** attempt)
+            backoff = min(backoff, retry.max_backoff_s)
+            prev_backoff = backoff
+            total += retry.ack_timeout_s + backoff
             total += MessagingLayer.send(self, kind, src, dst, payload_bytes)
             self.retries += 1
             attempt += 1
+
+    # The chaos injector lives on the wrapped layer so both handles see
+    # the same hook.  (The base __init__ assigns the None default before
+    # ``inner`` exists; the setter ignores that assignment.)
+    @property
+    def chaos(self):
+        return self.inner.chaos
+
+    @chaos.setter
+    def chaos(self, value):
+        inner = getattr(self, "inner", None)
+        if inner is not None:
+            inner.chaos = value
 
     def fault_stats(self) -> dict:
         return {

@@ -60,7 +60,7 @@ class RecoveryPolicy:
         for job, required_isa in sim.parked:
             targets = [
                 n
-                for n in sim.live_nodes()
+                for n in _placement_nodes(sim)
                 if required_isa is None or n.isa_name == required_isa
             ]
             if not targets:
@@ -75,6 +75,15 @@ class RecoveryPolicy:
         sim.start_job(job, sim.policy.place(job, targets))
 
 
+def _placement_nodes(sim) -> List["MachineNode"]:
+    """Nodes safe to place on: with a failure detector attached the
+    simulator excludes suspected/fenced nodes; otherwise all live ones."""
+    nodes = getattr(sim, "placement_nodes", None)
+    if nodes is not None:
+        return nodes()
+    return sim.live_nodes()
+
+
 class FailStop(RecoveryPolicy):
     """Explicit alias of the base behaviour, for comparisons."""
 
@@ -87,14 +96,24 @@ class EvacuateLive(RecoveryPolicy):
     name = "evacuate-live"
 
     def on_crash(self, sim, node, jobs):
+        two_phase = getattr(sim, "two_phase", False)
         for job in jobs:
             live = [
-                n for n in sim.live_nodes() if sim.reachable(node.name, n.name)
+                n
+                for n in _placement_nodes(sim)
+                if sim.reachable(node.name, n.name)
             ]
             if not live:
                 sim.park(job, None, reason="no reachable node to evacuate to")
                 continue
             dst = sim.policy.place(job, live)
+            if two_phase:
+                # Crash-consistent hand-off: PREPARE now, COMMIT only
+                # once the transfer lands on a still-alive destination
+                # (the simulator aborts and re-places on a mid-flight
+                # destination death).
+                sim.begin_handoff(job, node.name, dst, "evacuate")
+                continue
             penalty = migration_penalty(job.spec, sim.effective_bandwidth())
             extra = penalty / sim.duration_on(job.spec, dst)
             job.remaining_fraction = min(job.remaining_fraction + extra, 1.0)
@@ -182,7 +201,7 @@ class CheckpointRestart(RecoveryPolicy):
             self._restore(sim, job, image_isa)
 
     def _restore(self, sim, job: Job, image_isa: str) -> None:
-        live = sim.live_nodes()
+        live = _placement_nodes(sim)
         same_isa = [n for n in live if n.isa_name == image_isa]
         if same_isa:
             self.place_recovered(sim, job, same_isa)

@@ -25,11 +25,14 @@ def render_recovery_comparison(
             "makespan (s)",
             "goodput",
             "MTTR (s)",
+            "MTTD (s)",
             "lost work (s)",
             "overhead (s)",
             "evac",
             "restart",
             "lost",
+            "false-susp",
+            "lost pages",
         ],
     )
     for name, run in results.items():
@@ -38,11 +41,14 @@ def render_recovery_comparison(
             f"{run.makespan:.1f}",
             f"{run.goodput:.3f}",
             f"{run.mttr:.1f}",
+            f"{run.mttd:.1f}",
             f"{run.lost_work_seconds:.1f}",
             f"{run.overhead_seconds:.2f}",
             run.jobs_evacuated,
             run.jobs_restarted,
             run.jobs_lost,
+            run.false_suspicions,
+            run.lost_pages,
         )
     return table.render()
 

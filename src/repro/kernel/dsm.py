@@ -19,10 +19,28 @@ burst visible in Figure 11.
 """
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.linker.layout import PAGE_SIZE, page_of
 from repro.runtime.address_space import AddressSpace
+
+
+class LostPageError(RuntimeError):
+    """An access touched a page whose only valid copy died with a kernel.
+
+    The directory scrub marks such pages *lost* instead of leaving a
+    stale owner entry; faulting on one fails loudly (the alternative —
+    silently serving zeros — would corrupt the computation invisibly).
+    """
+
+    def __init__(self, page: int, kernel: str, dead_kernel: str):
+        super().__init__(
+            f"page {page:#x} accessed from {kernel} was lost when its only "
+            f"valid copy died with kernel {dead_kernel}"
+        )
+        self.page = page
+        self.kernel = kernel
+        self.dead_kernel = dead_kernel
 
 
 @dataclass
@@ -33,6 +51,9 @@ class DsmStats:
     page_transfers: int = 0
     invalidations: int = 0
     bytes_transferred: int = 0
+    # Backup-home replication mode (opt-in ablation).
+    backup_pushes: int = 0
+    backup_bytes: int = 0
 
     def snapshot(self) -> "DsmStats":
         return DsmStats(
@@ -40,13 +61,34 @@ class DsmStats:
             self.page_transfers,
             self.invalidations,
             self.bytes_transferred,
+            self.backup_pushes,
+            self.backup_bytes,
         )
+
+
+@dataclass
+class ScrubReport:
+    """What a directory scrub did after one kernel's confirmed death."""
+
+    dead_kernel: str
+    dropped_copies: int = 0  # stale sharer entries removed
+    reowned: int = 0  # ownership rebuilt from a surviving sharer
+    reowned_from_backup: int = 0  # recovered via the backup-home copy
+    refetchable: int = 0  # clean sole copies, refetchable from the image
+    lost: int = 0  # dirty sole copies: marked lost, accesses fail loudly
 
 
 class DsmService:
     """Per-process page coherence across the replicated kernels."""
 
-    def __init__(self, space: AddressSpace, messaging, home_kernel: str):
+    def __init__(
+        self,
+        space: AddressSpace,
+        messaging,
+        home_kernel: str,
+        machines: Optional[List[str]] = None,
+        backup: bool = False,
+    ):
         self.space = space
         self.messaging = messaging
         self.home = home_kernel
@@ -60,6 +102,26 @@ class DsmService:
         # Monotonic epoch: bumped on every residency change; lets the
         # engine cache "this whole range is local" checks.
         self.epoch = 0
+        # ---- crash recovery (all empty/off on the fault-free path) ----
+        # Machine ring: determines where backup copies go.
+        self.machines = list(machines) if machines else []
+        # Opt-in dirty-page backup-home replication (ablation): every
+        # dirtying coherence event pushes the page to the owner's ring
+        # successor, trading steady-state wire bandwidth for lost work.
+        self.backup = bool(backup) and len(self.machines) > 1
+        # page -> kernel holding an out-of-band backup copy.  Backup
+        # copies are *not* coherence sharers: they never serve faults
+        # and never appear in _valid, so MSI behaviour is unchanged.
+        self._backup_of: Dict[int, str] = {}
+        # Pages ever dirtied through a coherence event (write fault,
+        # write first-touch, or bulk write pull).  Clean sole copies of
+        # a dead kernel are refetchable from the binary image; dirty
+        # ones are genuinely lost.
+        self._dirtied: Set[int] = set()
+        # page -> dead kernel whose crash lost the page.
+        self.lost_pages: Dict[int, str] = {}
+        self._dead: Set[str] = set()
+        self.scrubs: List[ScrubReport] = []
 
     # ----------------------------------------------------------- faults
 
@@ -76,18 +138,61 @@ class DsmService:
     def access(self, kernel: str, addr: int, write: bool) -> float:
         """Account one access; returns fault service time in seconds."""
         page = page_of(addr)
+        if self.lost_pages and page in self.lost_pages:
+            raise LostPageError(page, kernel, self.lost_pages[page])
         if self.is_local(kernel, page, write):
-            self._note_first_touch(kernel, page)
-            return 0.0
+            return self._note_first_touch(kernel, page, write)
         return self._fault(kernel, page, write)
 
-    def _note_first_touch(self, kernel: str, page: int) -> None:
+    def _note_first_touch(self, kernel: str, page: int, write: bool = False) -> float:
         if page not in self._owner and page not in self._aliased:
             self._owner[page] = kernel
             self._valid[page] = {kernel}
+            if write:
+                self._dirtied.add(page)
+                if self.backup:
+                    return self._push_backup(kernel, page)
+        elif write and page not in self._aliased:
+            # First *write* to a page the kernel already owns from a
+            # read first-touch: the engine's residency cache guarantees
+            # the first write of a page reaches access(), so dirtiness
+            # tracking at coherence granularity is complete.
+            self._dirtied.add(page)
+            if self.backup and page not in self._backup_of:
+                return self._push_backup(kernel, page)
+        return 0.0
+
+    def _backup_target(self, owner: str) -> Optional[str]:
+        machines = self.machines
+        if len(machines) < 2 or owner not in machines:
+            return None
+        return machines[(machines.index(owner) + 1) % len(machines)]
+
+    def _push_backup(self, owner: str, page: int) -> float:
+        """Replicate a dirty page to the owner's ring successor."""
+        target = self._backup_target(owner)
+        if target is None or target in self._dead:
+            return 0.0
+        self._backup_of[page] = target
+        self.stats.backup_pushes += 1
+        self.stats.backup_bytes += PAGE_SIZE
+        return self.messaging.send("dsm.backup", owner, target, PAGE_SIZE)
 
     def _fault(self, kernel: str, page: int, write: bool) -> float:
+        if self.messaging.chaos is not None:
+            if self.messaging.chaos_step(
+                "dsm.page", faulter=kernel, owner=self._owner[page]
+            ):
+                # The step crashed a kernel; the directory has been
+                # scrubbed under our feet.  Re-dispatch from scratch.
+                from repro.kernel.kernel import KernelCrashed
+
+                if kernel in self.messaging.fenced:
+                    raise KernelCrashed(kernel)
+                return self.access(kernel, page * PAGE_SIZE, write)
         self.stats.faults += 1
+        if write:
+            self._dirtied.add(page)
         owner = self._owner[page]
         sharers = self._valid.setdefault(page, {owner})
         cost = 0.0
@@ -112,6 +217,8 @@ class DsmService:
                 self.stats.invalidations += len(others)
             self._valid[page] = {kernel}
             self._owner[page] = kernel
+            if self.backup:
+                cost += self._push_backup(kernel, page)
         else:
             sharers.add(kernel)
         self.epoch += 1
@@ -130,18 +237,38 @@ class DsmService:
             return (0.0, 0)
         first = page_of(base)
         last = page_of(base + span - 1)
+        if self.lost_pages:
+            for lost_page, dead in self.lost_pages.items():
+                if first <= lost_page <= last:
+                    raise LostPageError(lost_page, kernel, dead)
         missing = [
             p
             for p in range(first, last + 1)
             if not self.is_local(kernel, p, write)
         ]
-        for p in range(first, last + 1):
-            self._note_first_touch(kernel, p)
-        if not missing:
-            return (0.0, 0)
-        transfers = 0
+        if self.messaging.chaos is not None:
+            owners = sorted({self._owner[p] for p in missing})
+            if self.messaging.chaos_step(
+                "dsm.bulk", puller=kernel, *(), **{
+                    f"owner{i}": o for i, o in enumerate(owners)
+                }
+            ):
+                from repro.kernel.kernel import KernelCrashed
+
+                if kernel in self.messaging.fenced:
+                    raise KernelCrashed(kernel)
+                return self.ensure_range(kernel, base, span, write)
         cost = 0.0
+        for p in range(first, last + 1):
+            cost += self._note_first_touch(kernel, p, write)
+        if not missing:
+            return (cost, 0)
+        transfers = 0
+        backups = 0
         inval_groups = set()
+        backup_target = self._backup_target(kernel) if self.backup else None
+        if backup_target in self._dead:
+            backup_target = None
         for page in missing:
             owner = self._owner[page]
             sharers = self._valid.setdefault(page, {owner})
@@ -161,6 +288,10 @@ class DsmService:
                     self.stats.invalidations += len(others)
                 self._valid[page] = {kernel}
                 self._owner[page] = kernel
+                self._dirtied.add(page)
+                if backup_target is not None:
+                    self._backup_of[page] = backup_target
+                    backups += 1
             else:
                 sharers.add(kernel)
         for group in sorted(inval_groups, key=sorted):
@@ -181,6 +312,17 @@ class DsmService:
                 + interconnect.per_message_cpu_s
             )
             self.messaging.record_bulk("dsm.bulk", transfers, PAGE_SIZE + 64)
+        if backups:
+            # Backup pushes ride the same pipelined burst: one extra
+            # page payload per dirtied page to the ring successor.
+            interconnect = self.messaging.interconnect
+            cost += (
+                (backups * (PAGE_SIZE + 64)) / interconnect.bandwidth_bytes_per_s
+                + interconnect.per_message_cpu_s
+            )
+            self.messaging.record_bulk("dsm.backup", backups, PAGE_SIZE + 64)
+            self.stats.backup_pushes += backups
+            self.stats.backup_bytes += backups * PAGE_SIZE
         self.epoch += 1
         return (cost, transfers)
 
@@ -207,3 +349,61 @@ class DsmService:
         if dropped:
             self.epoch += 1
         return dropped
+
+    # ---------------------------------------------------- crash recovery
+
+    def scrub_dead_kernel(self, dead: str) -> ScrubReport:
+        """Reconcile the directory after ``dead``'s confirmed death.
+
+        Ownership is reconstructed from surviving sharers (smallest
+        kernel name wins, deterministically).  Sole copies are recovered
+        from their backup-home replica when one exists; otherwise clean
+        pages revert to untouched (their content is refetchable from
+        the binary image) and dirty pages are marked *lost* — any later
+        access raises :class:`LostPageError` instead of reading zeros.
+        """
+        report = ScrubReport(dead)
+        self._dead.add(dead)
+        for page in sorted(self._valid):
+            sharers = self._valid[page]
+            owner = self._owner.get(page)
+            if dead in sharers:
+                sharers.discard(dead)
+                if owner != dead:
+                    report.dropped_copies += 1
+            if owner != dead:
+                continue
+            if sharers:
+                self._owner[page] = min(sharers)
+                report.reowned += 1
+                continue
+            backup = self._backup_of.get(page)
+            del self._owner[page]
+            del self._valid[page]
+            if backup is not None and backup not in self._dead:
+                # The backup holder becomes the new owner; the copy it
+                # holds is the page as of its last replication.
+                self._owner[page] = backup
+                self._valid[page] = {backup}
+                report.reowned_from_backup += 1
+            elif page in self._dirtied:
+                self.lost_pages[page] = dead
+                report.lost += 1
+            else:
+                # Never dirtied: content is still the loaded image, so
+                # the next toucher re-materialises it like a first touch.
+                report.refetchable += 1
+        # Backup copies stored *on* the dead kernel died with it.
+        for page, holder in list(self._backup_of.items()):
+            if holder == dead:
+                del self._backup_of[page]
+        self.scrubs.append(report)
+        # Residency caches across the system are stale now.
+        self.epoch += 1
+        return report
+
+    def references_kernel(self, kernel: str) -> bool:
+        """Does any directory entry still route at ``kernel``?"""
+        if any(owner == kernel for owner in self._owner.values()):
+            return True
+        return any(kernel in sharers for sharers in self._valid.values())

@@ -22,6 +22,18 @@ from repro.runtime.stack import Frame, UserStack
 from repro.sim.clock import Clock
 
 
+class KernelCrashed(RuntimeError):
+    """A thread's kernel died under it (or mid-operation).
+
+    Raised on the execution path of a thread whose kernel crashed while
+    it ran; the engine turns it into a loud, recorded thread failure.
+    """
+
+    def __init__(self, kernel: str):
+        super().__init__(f"kernel {kernel} crashed")
+        self.kernel = kernel
+
+
 class Kernel:
     """One OS instance, natively compiled for its machine's ISA."""
 
@@ -29,6 +41,8 @@ class Kernel:
         self.machine = machine
         self.system = system
         self.name = machine.name
+        # False once crash_kernel has fenced this kernel off.
+        self.alive = True
         # Threads currently homed on this kernel.
         self.threads: Dict[int, Thread] = {}
 
@@ -78,6 +92,15 @@ class PopcornSystem:
         self.processes: Dict[int, Process] = {}
         self._next_pid = 1
         self._next_tid = 1
+        # Migration services consulted during crash recovery: a thread
+        # whose context already shipped to a live destination survives
+        # its source kernel's death via the resume token.
+        self._migration_services: List = []
+        # Opt-in dirty-page backup replication for new processes.
+        self.dsm_backup = False
+
+    def register_migration_service(self, service) -> None:
+        self._migration_services.append(service)
 
     # ----------------------------------------------------------- lookup
 
@@ -109,7 +132,12 @@ class PopcornSystem:
         pid = self._next_pid
         self._next_pid += 1
         process = load_binary(
-            binary, pid, machine_name, self.messaging, self.machine_order
+            binary,
+            pid,
+            machine_name,
+            self.messaging,
+            self.machine_order,
+            dsm_backup=self.dsm_backup,
         )
         process.container = container or HeterogeneousContainer(
             f"ctr-{binary.module.name}-{pid}"
@@ -193,6 +221,67 @@ class PopcornSystem:
 
     def request_thread_migration(self, thread: Thread, machine_name: str) -> None:
         thread.process.vdso.request_migration(thread.tid, machine_name)
+
+    # ----------------------------------------------------- crash recovery
+
+    def crash_kernel(self, name: str) -> Dict[int, object]:
+        """Kill kernel ``name``: fence it, kill its threads, scrub state.
+
+        Mirrors what a confirmed failure-detector verdict triggers: the
+        dead kernel is fenced off the messaging layer (it neither sends
+        nor receives), resident threads die — except those whose
+        migration transaction already shipped their context to a live
+        destination (the two-phase hand-off's resume token keeps exactly
+        one live copy) — every process's hDSM directory is scrubbed,
+        and the replicated services drop the dead replica so no later
+        RPC routes at it.  Returns the per-pid scrub reports.
+        """
+        kernel = self.kernels.get(name)
+        if kernel is None:
+            raise KeyError(f"unknown machine {name}")
+        if not kernel.alive:
+            return {}
+        kernel.alive = False
+        self.messaging.fenced.add(name)
+        saved: set = set()
+        for service in self._migration_services:
+            saved |= service.threads_with_surviving_copy(name)
+        for thread in list(kernel.threads.values()):
+            if thread.tid in saved or thread.state == ThreadState.DONE:
+                continue
+            self.fail_thread(thread, f"kernel {name} crashed")
+        scrubs: Dict[int, object] = {}
+        for pid in sorted(self.processes):
+            process = self.processes[pid]
+            if process.dsm is not None:
+                scrubs[pid] = process.dsm.scrub_dead_kernel(name)
+        self.services.scrub_kernel(name)
+        if self.vfs.home == name:
+            # The replicated VFS fails over to the next live kernel.
+            survivors = [
+                m for m in self.machine_order if self.kernels[m].alive
+            ]
+            if survivors:
+                self.vfs.home = survivors[0]
+        return scrubs
+
+    def fail_thread(self, thread: Thread, reason: str) -> None:
+        """Kill one thread loudly: record the failure, wake joiners."""
+        if thread.state == ThreadState.DONE:
+            return
+        self.kernels[thread.machine_name].release_thread(thread)
+        thread.state = ThreadState.DONE
+        thread.blocked_on = None
+        if thread.exit_value is None:
+            thread.exit_value = 0.0
+        process = thread.process
+        process.failed_threads[thread.tid] = reason
+        # Joiners observe the death (join returns) instead of hanging.
+        for other in process.threads.values():
+            if other.blocked_on == ("join", thread.tid):
+                other.wake(max(other.vtime, thread.vtime))
+                if self.kernels[other.machine_name].alive:
+                    self.machines[other.machine_name].thread_started()
 
     # ---------------------------------------------------------- teardown
 

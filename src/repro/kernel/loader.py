@@ -30,6 +30,7 @@ def load_binary(
     home_kernel: str,
     messaging,
     machine_order,
+    dsm_backup: bool = False,
 ) -> Process:
     """Create a process image for ``binary`` homed on ``home_kernel``."""
     space = AddressSpace(binary.vm_map)
@@ -41,7 +42,13 @@ def load_binary(
     process = Process(pid, binary, space, heap, home_kernel)
     process.vdso = VdsoPage(space, machine_order)
     # Validated DSM when REPRO_VALIDATE is on, plain service otherwise.
-    process.dsm = validate.make_dsm_service(space, messaging, home_kernel)
+    process.dsm = validate.make_dsm_service(
+        space,
+        messaging,
+        home_kernel,
+        machines=list(machine_order),
+        backup=dsm_backup,
+    )
     space.page_hook = None  # engine wires DSM access charging itself
     return process
 

@@ -8,11 +8,31 @@ turn charges the interconnect model.
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Set
 
 from repro.machine.interconnect import Interconnect
 
 HEADER_BYTES = 64
+
+
+class KernelFencedError(RuntimeError):
+    """A message named a fenced (crashed/ostracised) kernel.
+
+    Raised by :meth:`MessagingLayer.send` when either endpoint has been
+    fenced by :meth:`~repro.kernel.kernel.PopcornSystem.crash_kernel`.
+    Reaching this error means some service kept a stale route to a dead
+    kernel — the crash-recovery scrub should have removed it — so tests
+    and the chaos harness treat it as a protocol bug, not a fault.
+    """
+
+    def __init__(self, kind: str, src: str, dst: str, fenced: str):
+        super().__init__(
+            f"message {kind!r} {src}->{dst} routed at fenced kernel {fenced!r}"
+        )
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.fenced_kernel = fenced
 
 
 @dataclass(frozen=True)
@@ -36,11 +56,36 @@ class MessagingLayer:
         self.interconnect = interconnect
         self.counts: Counter = Counter()
         self.bytes_by_kind: Counter = Counter()
+        # Kernels fenced off by crash recovery: any message naming one
+        # raises KernelFencedError (a dead kernel neither sends nor
+        # receives — lease-based fencing made that a hard guarantee).
+        self.fenced: Set[str] = set()
+        # Optional chaos injector (repro.faults.chaos); None in normal
+        # runs so the hook costs one attribute read per protocol step.
+        self.chaos = None
+
+    def chaos_step(self, step: str, **roles: str) -> bool:
+        """Announce a crashable protocol step; True if a crash fired.
+
+        ``roles`` names the kernels participating in the step (e.g.
+        ``src=.../dst=...`` for a migration hand-off).  The chaos
+        injector uses the announcement stream both to enumerate crash
+        points and to trigger the scheduled crash.
+        """
+        chaos = self.chaos
+        if chaos is None:
+            return False
+        return chaos.at_step(step, roles)
 
     def send(self, kind: str, src: str, dst: str, payload_bytes: int) -> float:
         """One-way message; returns the transfer time in seconds."""
         if src == dst:
             return 0.0  # local service invocation, no wire crossing
+        if self.fenced:
+            if src in self.fenced:
+                raise KernelFencedError(kind, src, dst, src)
+            if dst in self.fenced:
+                raise KernelFencedError(kind, src, dst, dst)
         msg = Message(kind, src, dst, payload_bytes)
         self.counts[kind] += 1
         self.bytes_by_kind[kind] += msg.wire_bytes

@@ -19,10 +19,31 @@ Migration sequence at a migration point (Sections 5.1 and 5.3):
 Homogeneous-ISA migration (the dynamic policies may also move work
 between identical x86 boxes) skips the transformation but pays the
 kernel-level hand-off.
+
+Crash consistency.  The hand-off is a two-phase protocol:
+
+    PREPARE   stack transformed + claimed at the source; nothing has
+              left the source yet — a crash of either side aborts
+              (destination death) or kills the thread (source death).
+    TRANSFER  the thread context (the *resume token*) now exists at the
+              destination; from here a source crash is survivable — the
+              destination promotes its copy (idempotent: the token is
+              applied at most once).
+    PUBLISH   the replicated process table names the destination; an
+              abort must revert it.
+    COMMIT    the thread is rebound to the destination kernel; the
+              source copy is dead.
+
+Every step announces itself through ``MessagingLayer.chaos_step`` so
+the chaos harness can enumerate and trigger crashes at each one.  After
+each step the service re-checks both endpoints and either proceeds,
+aborts back to the source, or promotes the destination copy — so a
+crash at any step leaves exactly one live copy of the thread.
 """
 
+import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Set
 
 from repro import validate
 from repro.kernel.process import KernelThreadState, Thread, ThreadState
@@ -31,6 +52,30 @@ from repro.runtime.transform import TransformStats
 THREAD_CONTEXT_BYTES = 2048  # register file + unwound-metadata summary
 CONTINUATION_SETUP_S = 12e-6  # kernel stack + TCB creation on the target
 NAMESPACE_REPLICA_BYTES = 512
+
+
+class TxnPhase(enum.Enum):
+    PREPARING = "preparing"
+    PREPARED = "prepared"
+    TRANSFERRED = "transferred"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class MigrationTxn:
+    """One in-flight migration hand-off (the resume token's record)."""
+
+    token: str
+    pid: int
+    tid: int
+    src: str
+    dst: str
+    site: int
+    phase: TxnPhase = TxnPhase.PREPARING
+    # Whether the process table already names the destination.
+    published: bool = False
+    thread: Optional[Thread] = None
 
 
 @dataclass
@@ -43,6 +88,11 @@ class MigrationOutcome:
     transform: Optional[TransformStats]
     transform_seconds: float
     handoff_seconds: float
+    #: True if the hand-off rolled back and the thread stayed at the source.
+    aborted: bool = False
+    #: True if the destination promoted its resume token after the
+    #: source died mid-hand-off.
+    resumed_from_token: bool = False
 
     @property
     def total_seconds(self) -> float:
@@ -56,6 +106,34 @@ class MigrationService:
         self.system = system
         self.migrations = 0
         self.cross_isa_migrations = 0
+        self.aborted_migrations = 0
+        self.resumed_migrations = 0
+        self._active: Dict[str, MigrationTxn] = {}
+        self._next_token = 1
+        register = getattr(system, "register_migration_service", None)
+        if register is not None:
+            register(self)
+
+    # ------------------------------------------------- crash-recovery API
+
+    def threads_with_surviving_copy(self, dead_kernel: str) -> Set[int]:
+        """Tids whose context already reached a live destination.
+
+        Consulted by ``PopcornSystem.crash_kernel``: these threads are
+        *not* killed with their source kernel — the in-flight hand-off
+        promotes the destination copy instead (the resume token).
+        """
+        saved: Set[int] = set()
+        for txn in self._active.values():
+            if (
+                txn.phase is TxnPhase.TRANSFERRED
+                and txn.src == dead_kernel
+                and self.system.kernels[txn.dst].alive
+            ):
+                saved.add(txn.tid)
+        return saved
+
+    # ---------------------------------------------------------- migrate
 
     def migrate_thread(
         self, thread: Thread, dst_machine: str, migpoint_site: int
@@ -63,7 +141,8 @@ class MigrationService:
         """Move ``thread`` to ``dst_machine``; returns the outcome.
 
         The caller (execution engine) is responsible for charging
-        ``outcome.total_seconds`` to the thread's virtual time.
+        ``outcome.total_seconds`` to the thread's virtual time.  If the
+        outcome is ``aborted`` the thread is still at the source.
         """
         system = self.system
         src_machine = thread.machine_name
@@ -72,11 +151,46 @@ class MigrationService:
         src_isa = system.isa_of(src_machine)
         dst_isa = system.isa_of(dst_machine)
         process = thread.process
+        cross = src_isa != dst_isa
 
-        # 1. User-space state transformation (cross-ISA only).
+        if not system.kernels[dst_machine].alive:
+            # Destination already confirmed dead: refuse before doing
+            # any work — the thread keeps running at the source.
+            self.aborted_migrations += 1
+            process.vdso.clear(thread.tid)
+            return MigrationOutcome(
+                src_machine, dst_machine, cross, None, 0.0, 0.0, aborted=True
+            )
+
+        txn = MigrationTxn(
+            token=f"mig-{self._next_token}",
+            pid=process.pid,
+            tid=thread.tid,
+            src=src_machine,
+            dst=dst_machine,
+            site=migpoint_site,
+            thread=thread,
+        )
+        self._next_token += 1
+        self._active[txn.token] = txn
+        try:
+            return self._run_protocol(
+                txn, thread, process, src_isa, dst_isa, migpoint_site
+            )
+        finally:
+            del self._active[txn.token]
+
+    def _run_protocol(
+        self, txn, thread, process, src_isa, dst_isa, migpoint_site
+    ) -> MigrationOutcome:
+        system = self.system
+        src_machine, dst_machine = txn.src, txn.dst
+        cross = src_isa != dst_isa
+
+        # ---- PREPARE: user-space state transformation (cross-ISA only).
         transform_stats = None
         transform_seconds = 0.0
-        if src_isa != dst_isa:
+        if cross:
             transformer = validate.make_stack_transformer(
                 process.binary, process.space
             )
@@ -92,8 +206,18 @@ class MigrationService:
             process.dsm.ensure_range(
                 src_machine, low, thread.stack.top - low, write=True
             )
+        txn.phase = TxnPhase.PREPARED
+        if system.messaging.chaos_step(
+            "migrate.prepare", src=src_machine, dst=dst_machine
+        ):
+            outcome = self._after_crash(
+                txn, thread, process, transform_stats, transform_seconds, 0.0,
+                src_isa, dst_isa, migpoint_site,
+            )
+            if outcome is not None:
+                return outcome
 
-        # 2. Kernel hand-off over the messaging layer.
+        # ---- TRANSFER: the context (resume token) ships to the target.
         handoff = system.messaging.rpc(
             "migrate.thread",
             src_machine,
@@ -101,8 +225,18 @@ class MigrationService:
             request_bytes=THREAD_CONTEXT_BYTES,
             reply_bytes=64,
         )
+        txn.phase = TxnPhase.TRANSFERRED
+        if system.messaging.chaos_step(
+            "migrate.transfer", src=src_machine, dst=dst_machine
+        ):
+            outcome = self._after_crash(
+                txn, thread, process, transform_stats, transform_seconds,
+                handoff, src_isa, dst_isa, migpoint_site,
+            )
+            if outcome is not None:
+                return outcome
 
-        # 3. Container namespaces span to the destination kernel.
+        # Container namespaces span to the destination kernel.
         created = process.container.span_to(dst_machine)
         if created:
             handoff += system.messaging.rpc(
@@ -113,20 +247,30 @@ class MigrationService:
                 reply_bytes=64,
             )
 
-        # 4. The replicated process table observes the move, so every
-        # kernel can still route signals/joins to the thread.
+        # ---- PUBLISH: the replicated process table observes the move,
+        # so every kernel can still route signals/joins to the thread.
         handoff += system.services.proctable.note_migration(
             src_machine, process.pid, thread.tid, dst_machine
         )
+        txn.published = True
+        if system.messaging.chaos_step(
+            "migrate.publish", src=src_machine, dst=dst_machine
+        ):
+            outcome = self._after_crash(
+                txn, thread, process, transform_stats, transform_seconds,
+                handoff, src_isa, dst_isa, migpoint_site,
+            )
+            if outcome is not None:
+                return outcome
 
-        # 5. Heterogeneous continuation on the destination kernel.
+        # Heterogeneous continuation on the destination kernel.
         if dst_machine not in thread.kernel_state:
             thread.kernel_state[dst_machine] = KernelThreadState(
                 dst_machine, created_at=system.clock.now
             )
             handoff += CONTINUATION_SETUP_S
 
-        # Rebind the thread.
+        # ---- COMMIT: rebind the thread.
         src_kernel = system.kernels[src_machine]
         dst_kernel = system.kernels[dst_machine]
         src_kernel.release_thread(thread)
@@ -136,9 +280,18 @@ class MigrationService:
         process.vdso.clear(thread.tid)
         thread.migrations += 1
         self.migrations += 1
-        cross = src_isa != dst_isa
         if cross:
             self.cross_isa_migrations += 1
+        txn.phase = TxnPhase.COMMITTED
+        if system.messaging.chaos_step(
+            "migrate.commit", src=src_machine, dst=dst_machine
+        ):
+            outcome = self._after_crash(
+                txn, thread, process, transform_stats, transform_seconds,
+                handoff, src_isa, dst_isa, migpoint_site,
+            )
+            if outcome is not None:
+                return outcome
 
         # The transfer shows up on both machines' I/O power rails.
         duration = transform_seconds + handoff
@@ -153,4 +306,152 @@ class MigrationService:
             transform=transform_stats,
             transform_seconds=transform_seconds,
             handoff_seconds=handoff,
+        )
+
+    # -------------------------------------------------- crash handling
+
+    def _after_crash(
+        self,
+        txn,
+        thread,
+        process,
+        transform_stats,
+        transform_seconds,
+        handoff,
+        src_isa,
+        dst_isa,
+        migpoint_site,
+    ) -> Optional[MigrationOutcome]:
+        """Decide the fate of the hand-off after a crash fired.
+
+        Returns an outcome (abort / promote) or None to proceed —
+        raises ``KernelCrashed`` when the thread itself died with its
+        kernel (crash recovery already marked it DONE).
+        """
+        from repro.kernel.kernel import KernelCrashed
+
+        system = self.system
+        if thread.state is ThreadState.DONE:
+            # The thread's only copy died with its kernel: before
+            # TRANSFER nothing left the source; after COMMIT the source
+            # copy was already gone.  Exactly zero-survivor cases are
+            # real deaths, recorded loudly by crash_kernel.
+            raise KernelCrashed(thread.machine_name)
+
+        dst_alive = system.kernels[txn.dst].alive
+        src_alive = system.kernels[txn.src].alive
+        if txn.phase is TxnPhase.COMMITTED:
+            # Already committed; the source's death is irrelevant now.
+            return None
+        if not dst_alive:
+            return self._abort(
+                txn, thread, process, transform_stats, transform_seconds,
+                handoff, src_isa, dst_isa, migpoint_site,
+            )
+        if not src_alive:
+            return self._promote(
+                txn, thread, process, transform_stats, transform_seconds,
+                handoff, src_isa,
+            )
+        # Some third kernel died; the hand-off itself is unaffected.
+        return None
+
+    def _abort(
+        self,
+        txn,
+        thread,
+        process,
+        transform_stats,
+        transform_seconds,
+        handoff,
+        src_isa,
+        dst_isa,
+        migpoint_site,
+    ) -> MigrationOutcome:
+        """Destination died mid-hand-off: roll back to the source."""
+        system = self.system
+        cross = src_isa != dst_isa
+        if cross and transform_stats is not None:
+            # The stack was rewritten for the destination ISA; rewrite
+            # it back so the thread can resume at the source.
+            transformer = validate.make_stack_transformer(
+                process.binary, process.space
+            )
+            back = transformer.transform(thread, src_isa, migpoint_site)
+            transform_seconds += back.latency_seconds(src_isa)
+        if txn.published:
+            # Revert the process table to name the source again.  The
+            # dead destination was already scrubbed from the broadcast
+            # set by crash recovery.
+            handoff += system.services.proctable.note_migration(
+                txn.src, process.pid, thread.tid, txn.src
+            )
+        process.vdso.clear(thread.tid)
+        txn.phase = TxnPhase.ABORTED
+        self.aborted_migrations += 1
+        duration = transform_seconds + handoff
+        system.machines[txn.src].note_io_activity(duration)
+        return MigrationOutcome(
+            src_machine=txn.src,
+            dst_machine=txn.dst,
+            cross_isa=cross,
+            transform=transform_stats,
+            transform_seconds=transform_seconds,
+            handoff_seconds=handoff,
+            aborted=True,
+        )
+
+    def _promote(
+        self,
+        txn,
+        thread,
+        process,
+        transform_stats,
+        transform_seconds,
+        handoff,
+        src_isa,
+    ) -> MigrationOutcome:
+        """Source died after TRANSFER: the destination applies its token.
+
+        Idempotent by construction — the token is consumed here and the
+        transaction retires, so it can never be applied twice; the
+        source copy is fenced and can never run again.
+        """
+        system = self.system
+        dst_isa = system.isa_of(txn.dst)
+        cross = src_isa != dst_isa
+        # Namespaces span locally (their config is re-derivable from the
+        # replicated services; the dead source cannot ship a replica).
+        process.container.span_to(txn.dst)
+        if not txn.published:
+            # The destination publishes the move itself, as origin.
+            handoff += system.services.proctable.note_migration(
+                txn.dst, process.pid, thread.tid, txn.dst
+            )
+            txn.published = True
+        if txn.dst not in thread.kernel_state:
+            thread.kernel_state[txn.dst] = KernelThreadState(
+                txn.dst, created_at=system.clock.now
+            )
+            handoff += CONTINUATION_SETUP_S
+        system.kernels[txn.src].release_thread(thread)
+        thread.machine_name = txn.dst
+        system.kernels[txn.dst].adopt_thread(thread)
+        process.vdso.clear(thread.tid)
+        thread.migrations += 1
+        self.migrations += 1
+        if cross:
+            self.cross_isa_migrations += 1
+        self.resumed_migrations += 1
+        txn.phase = TxnPhase.COMMITTED
+        duration = transform_seconds + handoff
+        system.machines[txn.dst].note_io_activity(duration)
+        return MigrationOutcome(
+            src_machine=txn.src,
+            dst_machine=txn.dst,
+            cross_isa=cross,
+            transform=transform_stats,
+            transform_seconds=transform_seconds,
+            handoff_seconds=handoff,
+            resumed_from_token=True,
         )

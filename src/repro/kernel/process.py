@@ -155,11 +155,24 @@ class Process:
         self.exit_code: Optional[int] = None
         self.container = None  # set by the kernel when placed
         self.dsm = None  # set by the loader
+        # tid -> reason, for threads killed by crash recovery.  A
+        # process with failed threads finished *loudly*: its output and
+        # exit code are not trustworthy and callers must check
+        # ``failure`` before believing either.
+        self.failed_threads: Dict[int, str] = {}
         self._next_stack_index = 0
 
     @property
     def alive_threads(self) -> List[Thread]:
         return [t for t in self.threads.values() if t.state != ThreadState.DONE]
+
+    @property
+    def failure(self) -> Optional[str]:
+        """First recorded failure reason, or None if the run was clean."""
+        if not self.failed_threads:
+            return None
+        tid = min(self.failed_threads)
+        return f"tid {tid}: {self.failed_threads[tid]}"
 
     def next_stack_index(self) -> int:
         index = self._next_stack_index

@@ -86,7 +86,13 @@ class ReplicatedService:
         cost = 0.0
         holders = self._replicated_to.setdefault(record, set(self.kernels))
         if kernel not in holders:
-            source = next(iter(holders))
+            if not holders:
+                # Every replica died with its kernel; the record is
+                # unrecoverable — behave as if it never existed.
+                del self._state[record]
+                del self._replicated_to[record]
+                return default, 0.0
+            source = min(holders)
             cost = self.messaging.rpc(
                 f"svc.{self.name}.pull", kernel, source, 64, self.record_bytes
             )
@@ -102,6 +108,24 @@ class ReplicatedService:
             del self._state[record]
             self._replicated_to.pop(record, None)
         return len(doomed)
+
+    def scrub_kernel(self, dead: str) -> int:
+        """Drop a dead kernel as replica holder and broadcast target.
+
+        Returns the number of records whose last replica died (those
+        records are dropped — the state is unrecoverable).
+        """
+        if dead in self.kernels:
+            self.kernels.remove(dead)
+        lost = 0
+        for record in list(self._replicated_to):
+            holders = self._replicated_to[record]
+            holders.discard(dead)
+            if not holders:
+                del self._replicated_to[record]
+                self._state.pop(record, None)
+                lost += 1
+        return lost
 
     def records_for(self, pid: int) -> Dict[Any, Any]:
         return {key: v for (p, key), v in self._state.items() if p == pid}
@@ -182,3 +206,7 @@ class ServiceRegistry:
 
     def forget_process(self, pid: int) -> int:
         return sum(svc.forget_process(pid) for svc in self.all())
+
+    def scrub_kernel(self, dead: str) -> int:
+        """Drop a dead kernel from every replicated service."""
+        return sum(svc.scrub_kernel(dead) for svc in self.all())

@@ -35,6 +35,8 @@ from repro.ir.instructions import (
     Work,
 )
 from repro.isa.isa import InstrClass
+from repro.kernel.dsm import LostPageError
+from repro.kernel.kernel import KernelCrashed
 from repro.kernel.migration import MigrationService
 from repro.kernel.process import Process, Thread, ThreadState
 from repro.kernel.syscall import SyscallHandler
@@ -121,12 +123,26 @@ class ExecutionEngine:
                 ):
                     self._finalize_clock()
                     return process
-                blocked = {
-                    t.tid: t.blocked_on
+                blocked = [
+                    t
                     for t in process.threads.values()
                     if t.state == ThreadState.BLOCKED
-                }
-                raise ExecutionError(f"deadlock: all threads blocked: {blocked}")
+                ]
+                if process.failed_threads:
+                    # A crash killed a peer these threads were waiting
+                    # on (barrier party, mutex holder, ...): they can
+                    # never be woken.  Cascade the failure loudly
+                    # instead of reporting an inexplicable deadlock.
+                    why = process.failure
+                    for t in blocked:
+                        self.system.fail_thread(
+                            t, f"blocked forever after crash ({why})"
+                        )
+                    continue
+                raise ExecutionError(
+                    "deadlock: all threads blocked: "
+                    f"{ {t.tid: t.blocked_on for t in blocked} }"
+                )
             if self._pause_requested:
                 # A finished process cannot pause (handled above); here
                 # every live thread is parked at a slice boundary.
@@ -149,6 +165,8 @@ class ExecutionEngine:
                 self._run_slice(thread)
             except ProcessExit:
                 pass
+            except (KernelCrashed, LostPageError) as exc:
+                self._fail_thread(thread, exc)
         raise ExecutionError("slice budget exhausted (runaway program?)")
 
     def _finalize_clock(self) -> None:
@@ -595,6 +613,12 @@ class ExecutionEngine:
     def _exit_process(self, thread: Thread) -> None:
         self.system.reap_process(self.process)
         raise ProcessExit()
+
+    def _fail_thread(self, thread: Thread, exc: Exception) -> None:
+        """A crash (or a lost page) killed this thread mid-slice."""
+        if thread.state != ThreadState.DONE:
+            self.system.fail_thread(thread, str(exc))
+        self._page_cache.pop(thread.tid, None)
 
     # -------------------------------------------------------- migration
 

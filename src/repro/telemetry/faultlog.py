@@ -22,7 +22,9 @@ class FaultLogEntry:
 
     time: float
     kind: str  # crash | repair | degrade | degrade-end | partition | heal |
-    #            evacuate | restart | cross-isa-denied | park | blocked | lost
+    #            evacuate | restart | cross-isa-denied | park | blocked | lost |
+    #            suspect | unsuspect | confirm | fence | rejoin |
+    #            handoff-begin | handoff-commit | handoff-abort
     node: Optional[str] = None
     detail: str = ""
 

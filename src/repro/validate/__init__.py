@@ -65,15 +65,20 @@ def set_roundtrip(value: Optional[bool]) -> None:
 
 # ------------------------------------------------------------ factories
 
-def make_dsm_service(space, messaging, home_kernel: str):
+def make_dsm_service(
+    space, messaging, home_kernel: str, machines=None, backup: bool = False
+):
     """A DsmService — validated when checking is enabled."""
     if enabled():
         from repro.validate.dsm_checker import ValidatedDsmService
 
-        return ValidatedDsmService(space, messaging, home_kernel)
+        return ValidatedDsmService(
+            space, messaging, home_kernel, machines=machines, backup=backup
+        )
     from repro.kernel.dsm import DsmService
 
-    return DsmService(space, messaging, home_kernel)
+    return DsmService(space, messaging, home_kernel, machines=machines,
+                      backup=backup)
 
 
 def make_stack_transformer(binary, space):
@@ -87,6 +92,22 @@ def make_stack_transformer(binary, space):
     from repro.runtime.transform import StackTransformer
 
     return StackTransformer(binary, space)
+
+
+def check_crash_consistency(system, processes) -> None:
+    """Audit a system after (possibly injected) crashes.
+
+    Always-on where called (the chaos harness calls it directly rather
+    than through the enable flag): asserts the exactly-one-copy thread
+    invariant and that no surviving route names a dead kernel.
+    """
+    from repro.validate.system_checker import (
+        check_directory_scrubbed,
+        check_thread_conservation,
+    )
+
+    check_thread_conservation(system, processes)
+    check_directory_scrubbed(system, processes)
 
 
 def make_cluster_checker():
@@ -107,4 +128,5 @@ __all__ = [
     "make_dsm_service",
     "make_stack_transformer",
     "make_cluster_checker",
+    "check_crash_consistency",
 ]

@@ -71,17 +71,29 @@ class ClusterConservationChecker:
 
     def _check_jobs(self, sim, outstanding: int) -> None:
         running = sum(len(node.jobs) for node in sim.nodes)
+        # Two-phase hand-offs hold jobs in flight, and a failure
+        # detector keeps a crashed node's jobs in limbo until the death
+        # is confirmed — both are legitimate "exactly one copy, nowhere
+        # resident" states the conservation sum must include.
+        in_flight = len(getattr(sim, "_in_flight", ()))
+        undetected = sum(
+            len(v) for v in getattr(sim, "_undetected", {}).values()
+        )
         accounted = (
             len(sim.finished) + sim.jobs_lost + len(sim.parked)
-            + running + outstanding
+            + running + outstanding + in_flight + undetected
         )
         if self.submitted is not None and accounted != self.submitted:
             self._fail(
                 sim, "job-conservation",
                 f"{self.submitted} jobs submitted but "
                 f"{accounted} accounted for (finished + lost + parked + "
-                f"running + not-yet-admitted)",
-                {"outstanding": outstanding},
+                f"running + in-flight + undetected + not-yet-admitted)",
+                {
+                    "outstanding": outstanding,
+                    "in_flight": in_flight,
+                    "undetected": undetected,
+                },
             )
         for node in sim.nodes:
             if node.jobs and not node.up:

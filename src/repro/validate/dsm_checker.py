@@ -37,16 +37,42 @@ class ShadowDsm:
     service shows up as a lock-step divergence.
     """
 
-    def __init__(self, aliased_pages: Set[int]):
+    def __init__(self, aliased_pages: Set[int], machines=None, backup=False):
         self.aliased = set(aliased_pages)
         self.owner: Dict[int, str] = {}
         self.valid: Dict[int, Set[str]] = {}
         self.stats = DsmStats()
+        # Crash-recovery mirror state (independent re-implementation).
+        self.machines = list(machines) if machines else []
+        self.backup = bool(backup) and len(self.machines) > 1
+        self.dirtied: Set[int] = set()
+        self.backup_of: Dict[int, str] = {}
+        self.dead: Set[str] = set()
+        self.lost: Dict[int, str] = {}
 
-    def _first_touch(self, kernel: str, page: int) -> None:
+    def _push_backup(self, owner: str, page: int) -> None:
+        if not self.backup or owner not in self.machines:
+            return
+        nxt = self.machines[
+            (self.machines.index(owner) + 1) % len(self.machines)
+        ]
+        if nxt in self.dead:
+            return
+        self.backup_of[page] = nxt
+        self.stats.backup_pushes += 1
+        self.stats.backup_bytes += PAGE_SIZE
+
+    def _first_touch(self, kernel: str, page: int, write: bool = False) -> None:
         if page not in self.owner and page not in self.aliased:
             self.owner[page] = kernel
             self.valid[page] = {kernel}
+            if write:
+                self.dirtied.add(page)
+                self._push_backup(kernel, page)
+        elif write and page not in self.aliased:
+            self.dirtied.add(page)
+            if page not in self.backup_of:
+                self._push_backup(kernel, page)
 
     def _is_local(self, kernel: str, page: int, write: bool) -> bool:
         if page in self.aliased:
@@ -70,13 +96,15 @@ class ShadowDsm:
             self.stats.invalidations += sum(1 for k in sharers if k != kernel)
             self.owner[page] = kernel
             self.valid[page] = {kernel}
+            self.dirtied.add(page)
+            self._push_backup(kernel, page)
         else:
             sharers.add(kernel)
         return transferred
 
     def access(self, kernel: str, page: int, write: bool) -> None:
         if self._is_local(kernel, page, write):
-            self._first_touch(kernel, page)
+            self._first_touch(kernel, page, write)
             return
         self._serve_fault(kernel, page, write)
 
@@ -86,7 +114,7 @@ class ShadowDsm:
         pages = range(page_of(base), page_of(base + span - 1) + 1)
         missing = [p for p in pages if not self._is_local(kernel, p, write)]
         for p in pages:
-            self._first_touch(kernel, p)
+            self._first_touch(kernel, p, write)
         for p in missing:
             self._serve_fault(kernel, p, write)
 
@@ -94,6 +122,29 @@ class ShadowDsm:
         for page, sharers in self.valid.items():
             if kernel in sharers and self.owner.get(page) != kernel:
                 sharers.discard(kernel)
+
+    def scrub_dead(self, dead: str) -> None:
+        """Mirror of DsmService.scrub_dead_kernel, independently derived."""
+        self.dead.add(dead)
+        for page in sorted(self.valid):
+            sharers = self.valid[page]
+            sharers.discard(dead)
+            if self.owner.get(page) != dead:
+                continue
+            if sharers:
+                self.owner[page] = min(sharers)
+                continue
+            backup = self.backup_of.get(page)
+            del self.owner[page]
+            del self.valid[page]
+            if backup is not None and backup not in self.dead:
+                self.owner[page] = backup
+                self.valid[page] = {backup}
+            elif page in self.dirtied:
+                self.lost[page] = dead
+        for page, holder in list(self.backup_of.items()):
+            if holder == dead:
+                del self.backup_of[page]
 
 
 class ValidatedDsmService(DsmService):
@@ -106,10 +157,16 @@ class ValidatedDsmService(DsmService):
         space,
         messaging,
         home_kernel: str,
+        machines=None,
+        backup: bool = False,
         log: Optional[ValidationLog] = None,
     ):
-        super().__init__(space, messaging, home_kernel)
-        self.shadow = ShadowDsm(self._aliased)
+        super().__init__(
+            space, messaging, home_kernel, machines=machines, backup=backup
+        )
+        self.shadow = ShadowDsm(
+            self._aliased, machines=machines, backup=backup
+        )
         self.log = log if log is not None else default_log()
 
     # ------------------------------------------------------ operations
@@ -138,6 +195,12 @@ class ValidatedDsmService(DsmService):
         self.shadow.cleanup(kernel)
         self._check(f"all_threads_migrated_cleanup({kernel})")
         return dropped
+
+    def scrub_dead_kernel(self, dead: str):
+        report = super().scrub_dead_kernel(dead)
+        self.shadow.scrub_dead(dead)
+        self._check(f"scrub_dead_kernel({dead})")
+        return report
 
     # --------------------------------------------------------- checks
 
@@ -192,6 +255,22 @@ class ValidatedDsmService(DsmService):
                     "owner/valid maps",
                     {"op": op, "page": page},
                 )
+            if self._dead and (self._owner[page] in self._dead
+                               or sharers & self._dead):
+                self._fail(
+                    "no-dead-routes",
+                    f"after {op}: page {page:#x} still routes at a dead "
+                    "kernel (directory scrub incomplete)",
+                    {"op": op, "page": page, "dead": sorted(self._dead)},
+                )
+        for page in self.lost_pages:
+            if page in self._owner or page in self._valid:
+                self._fail(
+                    "lost-pages-untracked",
+                    f"after {op}: lost page {page:#x} still tracked in the "
+                    "owner/valid maps",
+                    {"op": op, "page": page},
+                )
 
     def _check_shadow(self, op: str) -> None:
         if self._owner != self.shadow.owner:
@@ -207,9 +286,24 @@ class ValidatedDsmService(DsmService):
                 "model (writer exclusivity or sharer tracking broken)",
                 {"op": op},
             )
+        if self.lost_pages != self.shadow.lost:
+            self._fail(
+                "shadow-lost-lockstep",
+                f"after {op}: lost-page map diverged from the reference "
+                "model",
+                {"op": op, "lost": dict(self.lost_pages),
+                 "shadow_lost": dict(self.shadow.lost)},
+            )
+        if self._backup_of != self.shadow.backup_of:
+            self._fail(
+                "shadow-backup-lockstep",
+                f"after {op}: backup-copy map diverged from the reference "
+                "model",
+                {"op": op},
+            )
         real, ref = self.stats, self.shadow.stats
         for counter in ("faults", "page_transfers", "invalidations",
-                        "bytes_transferred"):
+                        "bytes_transferred", "backup_pushes", "backup_bytes"):
             if getattr(real, counter) != getattr(ref, counter):
                 self._fail(
                     f"stats-{counter}",
