@@ -4,6 +4,7 @@ Usage (also available as ``python -m repro``)::
 
     python -m repro list
     python -m repro run is --cls A --threads 4 --migrate-at 3
+    python -m repro trace is --out trace.json --critical-path
     python -m repro layout cg --cls A
     python -m repro gaps ft --cls A
     python -m repro lint --all --format json
@@ -60,6 +61,25 @@ def build_parser() -> argparse.ArgumentParser:
                      help="machine the process starts on")
     run.add_argument("--migrate-at", type=int, default=None, metavar="N",
                      help="migrate the whole process at the Nth migration point")
+
+    trace = sub.add_parser(
+        "trace", help="run a workload with span tracing on and export "
+        "the trace (see docs/observability.md)")
+    _add_workload_args(trace)
+    trace.add_argument("--start", default="x86", choices=("x86", "arm"),
+                       help="machine the process starts on")
+    trace.add_argument("--migrate-at", type=int, default=2, metavar="N",
+                       help="migrate the whole process at the Nth migration "
+                       "point (default: 2, the Fig. 11 scenario)")
+    trace.add_argument("--out", default="trace.json", metavar="PATH",
+                       help="trace output file (default: trace.json)")
+    trace.add_argument("--format", default="chrome",
+                       choices=("chrome", "jsonl"),
+                       help="chrome = Perfetto-loadable trace-event JSON; "
+                       "jsonl = one span object per line")
+    trace.add_argument("--critical-path", action="store_true",
+                       help="print the per-migration transform / hand-off / "
+                       "DSM-tail latency decomposition")
 
     layout = sub.add_parser("layout", help="show the common multi-ISA layout")
     _add_workload_args(layout, with_threads=False)
@@ -238,7 +258,83 @@ def cmd_run(args) -> int:
         from repro.telemetry.lintlog import default_lint_log
 
         table.add_row("lint checks", default_lint_log().summary())
+    if system.tracer is not None:
+        # REPRO_TRACE=1 attached a tracer; surface its aggregate view.
+        table.add_row("spans recorded", len(system.tracer.spans))
+        for name, value in system.tracer.metrics.render_rows():
+            table.add_row(name, value)
     print(table.render())
+    return 0 if process.exit_code == 0 else 1
+
+
+def cmd_trace(args) -> int:
+    from repro.analysis.critical_path import (
+        migration_critical_path,
+        render_critical_path,
+    )
+    from repro.analysis.export import (
+        spans_to_chrome,
+        spans_to_jsonl,
+        validate_chrome_trace,
+    )
+    from repro.kernel import boot_testbed
+    from repro.runtime.execution import EngineHooks, ExecutionEngine
+    from repro.telemetry.spans import Tracer, check_causality
+    from repro.workloads import build_workload
+
+    toolchain = Toolchain(
+        target_gap=max(int(DEFAULT_TARGET_GAP * args.scale), 1000),
+        lint=args.lint,
+    )
+    binary = toolchain.build(
+        build_workload(args.workload, args.cls, args.threads, args.scale)
+    )
+    tracer = Tracer()
+    system = boot_testbed(tracer=tracer)
+    process = system.exec_process(binary, _machine_name(args.start))
+
+    hooks = EngineHooks()
+    hits = [0]
+
+    def maybe_migrate(thread, fn, point_id, instrs):
+        hits[0] += 1
+        if args.migrate_at is not None and hits[0] == args.migrate_at:
+            other = [m for m in system.machine_order
+                     if m != thread.machine_name][0]
+            system.request_migration(process, other)
+
+    hooks.on_migration_point = maybe_migrate
+    ExecutionEngine(system, process, hooks).run()
+
+    problems = check_causality(tracer.spans)
+    if args.format == "chrome":
+        text = spans_to_chrome(tracer.spans)
+        problems += validate_chrome_trace(text)
+    else:
+        text = spans_to_jsonl(tracer.spans)
+    with open(args.out, "w") as fh:
+        fh.write(text)
+
+    table = Table(
+        f"trace of {args.workload}.{args.cls} x{args.threads}",
+        ["metric", "value"],
+    )
+    table.add_row("exit code", process.exit_code)
+    table.add_row("simulated time (s)", f"{system.clock.now:.4f}")
+    table.add_row("spans", len(tracer.spans))
+    for category, count in tracer.by_category().items():
+        table.add_row(f"spans[{category}]", count)
+    for name, value in tracer.metrics.render_rows():
+        table.add_row(name, value)
+    table.add_row("wrote", f"{args.out} ({args.format})")
+    print(table.render())
+    if args.critical_path:
+        print()
+        print(render_critical_path(migration_critical_path(tracer.spans)))
+    for problem in problems:
+        print(f"trace problem: {problem}", file=sys.stderr)
+    if problems:
+        return 1
     return 0 if process.exit_code == 0 else 1
 
 
@@ -543,6 +639,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handler = {
         "list": cmd_list,
         "run": cmd_run,
+        "trace": cmd_trace,
         "layout": cmd_layout,
         "gaps": cmd_gaps,
         "lint": cmd_lint,

@@ -108,9 +108,19 @@ class ClusterSimulator:
         recovery: Optional["RecoveryPolicy"] = None,
         detector: Optional["FailureDetector"] = None,
         two_phase: Optional[bool] = None,
+        tracer=None,
     ):
         if not machines:
             raise ValueError("cluster needs at least one machine")
+        if tracer is None:
+            from repro.telemetry.spans import maybe_tracer
+
+            tracer = maybe_tracer()
+        # Opt-in span tracer; the cluster itself is the "clock" (its
+        # ``now`` attribute is the simulated time).
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.bind_clock(self)
         self.nodes = [MachineNode(m, project_arm_finfet) for m in machines]
         # Name -> node index: placement and migration lookups are O(1)
         # instead of a linear scan per migration.
@@ -173,6 +183,8 @@ class ClusterSimulator:
         if self.detector is not None:
             self.detector.reset([n.name for n in self.nodes], now=0.0)
             self._push_event(self.detector.period, "hb", None)
+            if tracer is not None:
+                self.detector.tracer = tracer
         # Opt-in conservation audit (REPRO_VALIDATE): None when off.
         self._checker = validate.make_cluster_checker()
 
@@ -214,6 +226,12 @@ class ClusterSimulator:
         job.machine = node.name
         job.started_at = self.now
         node.jobs.append(job)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "sched.place", "sched", ts=self.now, track=node.name,
+                job=str(job.spec),
+            )
+            self.tracer.metrics.counter("sched.placements").inc()
 
     # Public alias for the recovery policies.
     start_job = _start
@@ -284,6 +302,16 @@ class ClusterSimulator:
             dst.jobs.append(job)
             self.migrations += 1
             self.overhead_seconds += penalty
+            if self.tracer is not None:
+                self.tracer.complete(
+                    "sched.rebalance", "sched", self.now, penalty,
+                    track=dst.name, job=str(job.spec), src=src.name,
+                    dst=dst.name,
+                )
+                self.tracer.metrics.counter("sched.rebalances").inc()
+                self.tracer.metrics.histogram(
+                    "sched.rebalance_s"
+                ).observe(penalty)
 
     def _next_completion_dt(self) -> Optional[float]:
         best: Optional[float] = None
@@ -345,6 +373,15 @@ class ClusterSimulator:
             self._pump_handoffs()
             return
         self.fault_events += 1
+        if self.tracer is not None:
+            node = getattr(event, "node", None)
+            if node is None and isinstance(event, str):
+                node = event
+            self.tracer.instant(
+                f"fault.{kind}", "fault", ts=self.now,
+                track=node if node is not None else "cluster",
+            )
+            self.tracer.metrics.counter("fault.events").inc()
         if kind == "crash":
             self._apply_crash(event)
         elif kind == "repair":
@@ -523,6 +560,11 @@ class ClusterSimulator:
             self._fenced_alive.add(name)
             victims = node.jobs
             node.jobs = []
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "fault.fence", "fault", ts=self.now, track=name
+                )
+                self.tracer.metrics.counter("fault.fences").inc()
             self.fault_log.record(
                 self.now, "fence", node=name,
                 detail="lease expired on a live node (false confirm)",
@@ -549,6 +591,11 @@ class ClusterSimulator:
         self._fenced_alive.discard(name)
         if self.detector is not None:
             self.detector.clear(name, self.now)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "fault.rejoin", "fault", ts=self.now, track=name
+            )
+            self.tracer.metrics.counter("fault.rejoins").inc()
         self.fault_log.record(
             self.now, "rejoin", node=name, detail="fenced node heard again"
         )
@@ -619,6 +666,17 @@ class ClusterSimulator:
         job.migrations += 1
         self.migrations += 1
         self.handoff_seconds += self.now - handoff.prepared_at
+        if self.tracer is not None:
+            in_flight = self.now - handoff.prepared_at
+            self.tracer.complete(
+                "sched.handoff", "sched", handoff.prepared_at, in_flight,
+                track=handoff.dst, job=str(job.spec), src=handoff.src,
+                dst=handoff.dst, kind=handoff.kind, committed=True,
+            )
+            self.tracer.metrics.counter("sched.handoffs").inc()
+            self.tracer.metrics.histogram(
+                "sched.handoff_s"
+            ).observe(in_flight)
         if handoff.kind == "evacuate":
             job.evacuations += 1
             self.jobs_evacuated += 1
@@ -633,6 +691,14 @@ class ClusterSimulator:
         source-side state is still the job — re-drain or park it."""
         job = handoff.job
         self.handoffs_aborted += 1
+        if self.tracer is not None:
+            self.tracer.complete(
+                "sched.handoff", "sched", handoff.prepared_at,
+                self.now - handoff.prepared_at, track=handoff.dst,
+                job=str(job.spec), src=handoff.src, dst=handoff.dst,
+                kind=handoff.kind, committed=False,
+            )
+            self.tracer.metrics.counter("sched.handoffs_aborted").inc()
         self.fault_log.record(
             self.now, "handoff-abort", node=handoff.dst,
             detail=f"{job.spec}: destination died in flight",
@@ -651,6 +717,12 @@ class ClusterSimulator:
         job.state = JobState.PENDING
         job.machine = None
         self.parked.append((job, required_isa))
+        if self.tracer is not None:
+            self.tracer.instant(
+                "sched.park", "sched", ts=self.now, track="cluster",
+                job=str(job.spec),
+            )
+            self.tracer.metrics.counter("sched.parked").inc()
         detail = f"{job.spec}"
         if required_isa:
             detail += f" needs {required_isa}"
@@ -676,6 +748,12 @@ class ClusterSimulator:
         job.state = JobState.FAILED
         job.machine = None
         self.jobs_lost += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                "sched.lost", "sched", ts=self.now, track="cluster",
+                job=str(job.spec),
+            )
+            self.tracer.metrics.counter("sched.jobs_lost").inc()
         self.fault_log.record(self.now, "lost", detail=f"{job.spec}")
 
     def _abandon_parked(self) -> int:
@@ -832,4 +910,9 @@ class ClusterSimulator:
             handoffs=self.handoffs,
             handoffs_aborted=self.handoffs_aborted,
             handoff_seconds=self.handoff_seconds,
+            metrics=(
+                self.tracer.metrics.snapshot()
+                if self.tracer is not None
+                else {}
+            ),
         )

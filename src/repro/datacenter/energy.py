@@ -36,6 +36,10 @@ class RunResult:
     handoffs: int = 0  # two-phase hand-offs begun
     handoffs_aborted: int = 0  # rolled back (destination died mid-flight)
     handoff_seconds: float = 0.0  # summed in-flight (PREPARE->COMMIT) time
+    # ---- observability (repro.telemetry.spans) ----
+    # MetricsRegistry.snapshot() of the run's tracer; empty when
+    # tracing is off, so untraced results compare equal to old ones.
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     @property
     def total_energy(self) -> float:

@@ -86,6 +86,8 @@ class FailureDetector:
         # Optional kernel-level MessagingLayer: when present, heartbeat
         # wire traffic is charged through it ("hb" kind).
         self.messaging = messaging
+        # Optional span tracer; set by ClusterSimulator when tracing.
+        self.tracer = None
         self.stats = DetectorStats()
         self._nodes: List[str] = []
         self._last_heard: Dict[str, float] = {}
@@ -130,6 +132,18 @@ class FailureDetector:
         """
         events: List[Tuple[str, str]] = []
         cfg = self.config
+        tracer = self.tracer
+
+        def mark(event: str, node: str, false: bool) -> None:
+            if tracer is None:
+                return
+            tracer.instant(
+                f"detector.{event}", "detector", ts=now, track=node,
+                false=false,
+            )
+            tracer.metrics.counter(f"detector.{event}s").inc()
+            if false:
+                tracer.metrics.counter(f"detector.false_{event}s").inc()
         for node in self._nodes:
             if node in self._fenced:
                 continue  # verdict already rendered; rejoin is explicit
@@ -142,6 +156,7 @@ class FailureDetector:
                 self._last_heard[node] = now
                 if node in self._suspected_at:
                     del self._suspected_at[node]
+                    mark(UNSUSPECT, node, False)
                     events.append((UNSUSPECT, node))
                 continue
             silence = now - self._last_heard[node]
@@ -153,6 +168,7 @@ class FailureDetector:
                 self.stats.suspicions += 1
                 if alive.get(node, False):
                     self.stats.false_suspicions += 1
+                mark(SUSPECT, node, alive.get(node, False))
                 events.append((SUSPECT, node))
             suspected_at = self._suspected_at.get(node)
             if (
@@ -164,6 +180,7 @@ class FailureDetector:
                 self.stats.confirms += 1
                 if alive.get(node, False):
                     self.stats.false_confirms += 1
+                mark(CONFIRM, node, alive.get(node, False))
                 events.append((CONFIRM, node))
         return events
 

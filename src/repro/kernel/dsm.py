@@ -196,11 +196,13 @@ class DsmService:
         owner = self._owner[page]
         sharers = self._valid.setdefault(page, {owner})
         cost = 0.0
+        invalidated = 0
         # The page payload crosses the wire only when the faulting
         # kernel holds no valid copy.  A write to a page it already
         # shares (S->M upgrade, or the owner with stale sharers) costs
         # invalidation traffic only — no page transfer, no self-RPC.
-        if kernel not in sharers:
+        transferred = kernel not in sharers
+        if transferred:
             cost += self.messaging.rpc(
                 "dsm.page", kernel, owner, request_bytes=32,
                 reply_bytes=PAGE_SIZE,
@@ -215,6 +217,7 @@ class DsmService:
                     "dsm.inval", kernel, others, payload_bytes=32
                 )
                 self.stats.invalidations += len(others)
+                invalidated = len(others)
             self._valid[page] = {kernel}
             self._owner[page] = kernel
             if self.backup:
@@ -222,6 +225,21 @@ class DsmService:
         else:
             sharers.add(kernel)
         self.epoch += 1
+        tracer = getattr(self.messaging, "tracer", None)
+        if tracer is not None:
+            tracer.complete(
+                "dsm.page", "dsm", tracer.now(), cost, track=kernel,
+                page=page, owner=owner, write=write,
+                bytes=PAGE_SIZE if transferred else 0,
+                invalidations=invalidated,
+            )
+            metrics = tracer.metrics
+            metrics.counter("dsm.page_faults").inc()
+            if transferred:
+                metrics.counter("dsm.bytes").inc(PAGE_SIZE)
+            if invalidated:
+                metrics.counter("dsm.invalidations").inc(invalidated)
+            metrics.histogram("dsm.fault_s").observe(cost)
         return cost
 
     # ------------------------------------------------------------- bulk
@@ -269,6 +287,7 @@ class DsmService:
         backup_target = self._backup_target(kernel) if self.backup else None
         if backup_target in self._dead:
             backup_target = None
+        inval_before = self.stats.invalidations
         for page in missing:
             owner = self._owner[page]
             sharers = self._valid.setdefault(page, {owner})
@@ -324,6 +343,22 @@ class DsmService:
             self.stats.backup_pushes += backups
             self.stats.backup_bytes += backups * PAGE_SIZE
         self.epoch += 1
+        tracer = getattr(self.messaging, "tracer", None)
+        if tracer is not None:
+            invalidated = self.stats.invalidations - inval_before
+            tracer.complete(
+                "dsm.bulk", "dsm", tracer.now(), cost, track=kernel,
+                pages=len(missing), transfers=transfers,
+                bytes=transfers * PAGE_SIZE, write=write,
+                invalidations=invalidated,
+            )
+            metrics = tracer.metrics
+            metrics.counter("dsm.bulk_pulls").inc()
+            metrics.counter("dsm.page_faults").inc(len(missing))
+            metrics.counter("dsm.bytes").inc(transfers * PAGE_SIZE)
+            if invalidated:
+                metrics.counter("dsm.invalidations").inc(invalidated)
+            metrics.histogram("dsm.bulk_s").observe(cost)
         return (cost, transfers)
 
     # ------------------------------------------------------- inspection
@@ -400,6 +435,17 @@ class DsmService:
         self.scrubs.append(report)
         # Residency caches across the system are stale now.
         self.epoch += 1
+        tracer = getattr(self.messaging, "tracer", None)
+        if tracer is not None:
+            tracer.instant(
+                "dsm.scrub", "fault", track=dead, dead=dead,
+                dropped=report.dropped_copies, reowned=report.reowned,
+                from_backup=report.reowned_from_backup,
+                refetchable=report.refetchable, lost=report.lost,
+            )
+            tracer.metrics.counter("dsm.scrubs").inc()
+            if report.lost:
+                tracer.metrics.counter("dsm.lost_pages").inc(report.lost)
         return report
 
     def references_kernel(self, kernel: str) -> bool:

@@ -72,6 +72,7 @@ class PopcornSystem:
         machines: List[Machine],
         interconnect: Optional[Interconnect] = None,
         clock: Optional[Clock] = None,
+        tracer=None,
     ):
         if not machines:
             raise ValueError("a system needs at least one machine")
@@ -84,6 +85,12 @@ class PopcornSystem:
             interconnect if interconnect is not None else make_dolphin_pxh810()
         )
         self.messaging = MessagingLayer(self.interconnect)
+        # Opt-in span tracer (repro.telemetry.spans.Tracer); every
+        # protocol site reaches it through the messaging layer.
+        self.tracer = tracer
+        if tracer is not None:
+            self.messaging.tracer = tracer
+            tracer.bind_clock(self.clock)
         self.kernels: Dict[str, Kernel] = {
             m.name: Kernel(m, self) for m in machines
         }
@@ -243,6 +250,11 @@ class PopcornSystem:
             return {}
         kernel.alive = False
         self.messaging.fenced.add(name)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "kernel.crash", "fault", track=name, kernel=name
+            )
+            self.tracer.metrics.counter("fault.kernel_crashes").inc()
         saved: set = set()
         for service in self._migration_services:
             saved |= service.threads_with_surviving_copy(name)
@@ -294,9 +306,20 @@ class PopcornSystem:
         self.processes.pop(process.pid, None)
 
 
-def boot_testbed(clock: Optional[Clock] = None) -> PopcornSystem:
-    """The paper's dual-server setup: X-Gene 1 + Xeon over Dolphin PCIe."""
+def boot_testbed(
+    clock: Optional[Clock] = None, tracer=None
+) -> PopcornSystem:
+    """The paper's dual-server setup: X-Gene 1 + Xeon over Dolphin PCIe.
+
+    ``tracer`` opts into span tracing; when omitted, ``REPRO_TRACE=1``
+    in the environment attaches a fresh tracer (else tracing is off and
+    the run is bit-identical to an untraced one).
+    """
+    if tracer is None:
+        from repro.telemetry.spans import maybe_tracer
+
+        tracer = maybe_tracer()
     clock = clock if clock is not None else Clock()
     arm = make_xgene1("arm-server", clock)
     x86 = make_xeon_e5_1650v2("x86-server", clock)
-    return PopcornSystem([arm, x86], make_dolphin_pxh810(), clock)
+    return PopcornSystem([arm, x86], make_dolphin_pxh810(), clock, tracer=tracer)

@@ -63,6 +63,9 @@ class MessagingLayer:
         # Optional chaos injector (repro.faults.chaos); None in normal
         # runs so the hook costs one attribute read per protocol step.
         self.chaos = None
+        # Optional span tracer (repro.telemetry.spans); None in normal
+        # runs so tracing costs one attribute read per message.
+        self.tracer = None
 
     def chaos_step(self, step: str, **roles: str) -> bool:
         """Announce a crashable protocol step; True if a crash fired.
@@ -75,7 +78,15 @@ class MessagingLayer:
         chaos = self.chaos
         if chaos is None:
             return False
-        return chaos.at_step(step, roles)
+        fired = chaos.at_step(step, roles)
+        if fired and self.tracer is not None:
+            # Annotate whichever protocol span is open (the migration
+            # hand-off, a DSM pull) and drop a marker on the timeline.
+            self.tracer.annotate_current(chaos_crash=step)
+            self.tracer.instant(
+                "chaos.crash", "fault", track="net", step=step, **roles
+            )
+        return fired
 
     def send(self, kind: str, src: str, dst: str, payload_bytes: int) -> float:
         """One-way message; returns the transfer time in seconds."""
@@ -90,10 +101,19 @@ class MessagingLayer:
         self.counts[kind] += 1
         self.bytes_by_kind[kind] += msg.wire_bytes
         self.interconnect.record(msg.wire_bytes)
-        return (
+        seconds = (
             self.interconnect.transfer_time(msg.wire_bytes)
             + self.interconnect.per_message_cpu_s
         )
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.complete(
+                f"msg.{kind}", "msg", tracer.now(), seconds, track="net",
+                src=src, dst=dst, wire_bytes=msg.wire_bytes,
+            )
+            tracer.metrics.counter("msg.sends").inc()
+            tracer.metrics.counter("msg.wire_bytes").inc(msg.wire_bytes)
+        return seconds
 
     def rpc(
         self,
@@ -144,6 +164,11 @@ class MessagingLayer:
         self.counts[kind] += count
         self.bytes_by_kind[kind] += count * bytes_each
         self.interconnect.record(count * bytes_each)
+        if self.tracer is not None:
+            self.tracer.metrics.counter("msg.sends").inc(count)
+            self.tracer.metrics.counter("msg.wire_bytes").inc(
+                count * bytes_each
+            )
         return 0.0
 
     def stats(self) -> Dict[str, int]:

@@ -76,6 +76,48 @@ class MigrationTxn:
     # Whether the process table already names the destination.
     published: bool = False
     thread: Optional[Thread] = None
+    # Span bookkeeping for this hand-off; None when tracing is off.
+    trace: Optional["_HandoffTrace"] = None
+
+
+class _HandoffTrace:
+    """Span bookkeeping for one traced migration hand-off.
+
+    The root ``migrate`` span is opened when the protocol starts (at
+    the thread's virtual time) and decomposed into phase children —
+    ``migrate.transform`` / ``migrate.dsm`` / ``migrate.transfer`` /
+    ``migrate.publish`` / ``migrate.commit`` (or ``migrate.abort`` /
+    ``migrate.promote`` on the crash paths) — whose intervals tile the
+    root exactly, so the critical-path analyzer can re-derive the
+    paper's transform / DSM / hand-off latency decomposition from the
+    trace alone.
+    """
+
+    def __init__(self, tracer, t0: float, track: str, **attrs):
+        self.tracer = tracer
+        self.t0 = t0
+        self.cursor = t0
+        self.root = tracer.begin(
+            "migrate", "migrate", start_s=t0, track=track, **attrs
+        )
+
+    def child(self, name: str, end_s: float, **attrs):
+        """Emit a phase child covering [cursor, end_s], advance cursor."""
+        end_s = max(end_s, self.cursor)
+        self.tracer.complete(
+            name, "migrate", self.cursor, end_s - self.cursor,
+            track=self.root.track, parent=self.root, **attrs
+        )
+        self.cursor = end_s
+
+    def close(self, total_seconds: float, **attrs) -> None:
+        """Close the root span ``total_seconds`` after its start."""
+        self.tracer.end(self.root, end_s=self.t0 + total_seconds, **attrs)
+
+    def abandon(self, **attrs) -> None:
+        """Close a root left open by a mid-protocol KernelCrashed."""
+        if self.root.end_s is None:
+            self.tracer.end(self.root, end_s=self.cursor, **attrs)
 
 
 @dataclass
@@ -93,6 +135,9 @@ class MigrationOutcome:
     #: True if the destination promoted its resume token after the
     #: source died mid-hand-off.
     resumed_from_token: bool = False
+    #: The root ``migrate`` span when tracing is on (else None); the
+    #: engine uses its id to flow-link the post-migration page pulls.
+    span: Optional[object] = None
 
     @property
     def total_seconds(self) -> float:
@@ -153,11 +198,18 @@ class MigrationService:
         process = thread.process
         cross = src_isa != dst_isa
 
+        tracer = system.messaging.tracer
         if not system.kernels[dst_machine].alive:
             # Destination already confirmed dead: refuse before doing
             # any work — the thread keeps running at the source.
             self.aborted_migrations += 1
             process.vdso.clear(thread.tid)
+            if tracer is not None:
+                tracer.instant(
+                    "migrate.refused", "migrate", ts=thread.vtime,
+                    track=src_machine, tid=thread.tid, dst=dst_machine,
+                )
+                tracer.metrics.counter("migrate.refused").inc()
             return MigrationOutcome(
                 src_machine, dst_machine, cross, None, 0.0, 0.0, aborted=True
             )
@@ -173,12 +225,41 @@ class MigrationService:
         )
         self._next_token += 1
         self._active[txn.token] = txn
+        if tracer is not None:
+            txn.trace = _HandoffTrace(
+                tracer, thread.vtime, src_machine,
+                token=txn.token, pid=process.pid, tid=thread.tid,
+                src=src_machine, dst=dst_machine, cross_isa=cross,
+                site=migpoint_site,
+            )
         try:
-            return self._run_protocol(
+            outcome = self._run_protocol(
                 txn, thread, process, src_isa, dst_isa, migpoint_site
             )
         finally:
+            if txn.trace is not None:
+                txn.trace.abandon(crashed=True)
             del self._active[txn.token]
+        if tracer is not None:
+            outcome.span = txn.trace.root
+            metrics = tracer.metrics
+            metrics.counter("migrate.count").inc()
+            if cross:
+                metrics.counter("migrate.cross_isa").inc()
+            if outcome.aborted:
+                metrics.counter("migrate.aborted").inc()
+            if outcome.resumed_from_token:
+                metrics.counter("migrate.resumed").inc()
+            metrics.histogram("migrate.transform_s").observe(
+                outcome.transform_seconds
+            )
+            metrics.histogram("migrate.handoff_s").observe(
+                outcome.handoff_seconds
+            )
+            metrics.histogram("migrate.total_s").observe(
+                outcome.total_seconds
+            )
+        return outcome
 
     def _run_protocol(
         self, txn, thread, process, src_isa, dst_isa, migpoint_site
@@ -190,6 +271,7 @@ class MigrationService:
         # ---- PREPARE: user-space state transformation (cross-ISA only).
         transform_stats = None
         transform_seconds = 0.0
+        claim_pages = 0
         if cross:
             transformer = validate.make_stack_transformer(
                 process.binary, process.space
@@ -203,10 +285,22 @@ class MigrationService:
             # faults them over on demand (no stop-the-world, Fig. 11).
             innermost = thread.frames[-1]
             low = innermost.cfa - innermost.mf.frame.frame_size
-            process.dsm.ensure_range(
+            _, claim_pages = process.dsm.ensure_range(
                 src_machine, low, thread.stack.top - low, write=True
             )
         txn.phase = TxnPhase.PREPARED
+        trace = txn.trace
+        if trace is not None:
+            trace.child(
+                "migrate.transform", trace.t0 + transform_seconds,
+                cross_isa=cross,
+            )
+            # The stack claim costs no hand-off latency (served locally
+            # at the source), so its child is an instant in the tiling.
+            trace.child(
+                "migrate.dsm", trace.t0 + transform_seconds,
+                claim_pages=claim_pages,
+            )
         if system.messaging.chaos_step(
             "migrate.prepare", src=src_machine, dst=dst_machine
         ):
@@ -226,6 +320,12 @@ class MigrationService:
             reply_bytes=64,
         )
         txn.phase = TxnPhase.TRANSFERRED
+        if trace is not None:
+            trace.child(
+                "migrate.transfer",
+                trace.t0 + transform_seconds + handoff,
+                context_bytes=THREAD_CONTEXT_BYTES,
+            )
         if system.messaging.chaos_step(
             "migrate.transfer", src=src_machine, dst=dst_machine
         ):
@@ -253,6 +353,12 @@ class MigrationService:
             src_machine, process.pid, thread.tid, dst_machine
         )
         txn.published = True
+        if trace is not None:
+            trace.child(
+                "migrate.publish",
+                trace.t0 + transform_seconds + handoff,
+                namespaces=created,
+            )
         if system.messaging.chaos_step(
             "migrate.publish", src=src_machine, dst=dst_machine
         ):
@@ -295,6 +401,9 @@ class MigrationService:
 
         # The transfer shows up on both machines' I/O power rails.
         duration = transform_seconds + handoff
+        if trace is not None:
+            trace.child("migrate.commit", trace.t0 + duration)
+            trace.close(duration)
         system.machines[src_machine].note_io_activity(duration)
         system.machines[dst_machine].note_io_activity(duration)
 
@@ -390,6 +499,11 @@ class MigrationService:
         txn.phase = TxnPhase.ABORTED
         self.aborted_migrations += 1
         duration = transform_seconds + handoff
+        if txn.trace is not None:
+            txn.trace.child(
+                "migrate.abort", txn.trace.t0 + duration, dst_dead=True
+            )
+            txn.trace.close(duration, aborted=True)
         system.machines[txn.src].note_io_activity(duration)
         return MigrationOutcome(
             src_machine=txn.src,
@@ -445,6 +559,11 @@ class MigrationService:
         self.resumed_migrations += 1
         txn.phase = TxnPhase.COMMITTED
         duration = transform_seconds + handoff
+        if txn.trace is not None:
+            txn.trace.child(
+                "migrate.promote", txn.trace.t0 + duration, src_dead=True
+            )
+            txn.trace.close(duration, resumed=True)
         system.machines[txn.dst].note_io_activity(duration)
         return MigrationOutcome(
             src_machine=txn.src,

@@ -38,7 +38,17 @@ class SyscallHandler:
         method = getattr(self, f"_sys_{name}", None)
         if method is None:
             raise SyscallError(f"unimplemented syscall {name}")
-        return method(thread, args)
+        result = method(thread, args)
+        tracer = self.system.messaging.tracer
+        if tracer is not None:
+            tracer.complete(
+                f"sys.{name}", "sys", thread.vtime, result.seconds,
+                track=thread.machine_name, tid=thread.tid,
+                action=result.action,
+            )
+            tracer.metrics.counter("sys.calls").inc()
+            tracer.metrics.histogram("sys.service_s").observe(result.seconds)
+        return result
 
     # ------------------------------------------------------------ basic
 

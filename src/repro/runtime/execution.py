@@ -87,6 +87,10 @@ class ExecutionEngine:
         self._page_cache: Dict[int, list] = {}
         # Work-range residency cache: (tid, id(instr)) -> (epoch, base)
         self._range_cache: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        # tid -> span id of the thread's last migration: spans emitted
+        # afterwards (the post-migration page-pull burst of Fig. 11)
+        # carry a ``flow`` causal link back to it.
+        self._mig_flow: Dict[int, int] = {}
         self._wake_values: Dict[int, float] = {}
         self._pause_requested = False
         self.paused = False
@@ -225,6 +229,17 @@ class ExecutionEngine:
         process = self.process
         space = process.space
         mem = space._mem  # hot path: direct store access
+
+        tracer = system.messaging.tracer
+        if tracer is not None:
+            # Ambient identity for every span emitted from this slice
+            # (DSM faults, syscalls, messages) — deep call sites only
+            # see kernels, not threads.
+            tracer.set_context(
+                tid=thread.tid,
+                machine=thread.machine_name,
+                flow=self._mig_flow.get(thread.tid),
+            )
 
         pending = self._wake_values.pop(thread.tid, None)
         if pending is not None:
@@ -625,6 +640,8 @@ class ExecutionEngine:
     def _do_migration(self, thread: Thread, target: str, site_id: int) -> None:
         outcome = self.migration.migrate_thread(thread, target, site_id)
         thread.vtime += outcome.total_seconds
+        if outcome.span is not None:
+            self._mig_flow[thread.tid] = outcome.span.span_id
         # Residency caches are stale on the new machine.
         self._page_cache.pop(thread.tid, None)
         if self.hooks.on_migration is not None:

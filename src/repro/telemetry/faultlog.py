@@ -29,6 +29,7 @@ class FaultLogEntry:
     detail: str = ""
 
     def format(self) -> str:
+        """One aligned human-readable timeline line."""
         where = f" {self.node}" if self.node else ""
         tail = f": {self.detail}" if self.detail else ""
         return f"t={self.time:10.3f}s  {self.kind:<17}{where}{tail}"
@@ -47,20 +48,24 @@ class FaultLog:
         node: Optional[str] = None,
         detail: str = "",
     ) -> FaultLogEntry:
+        """Append one event to the timeline and return it."""
         entry = FaultLogEntry(time, kind, node, detail)
         self.entries.append(entry)
         return entry
 
     def by_kind(self) -> Dict[str, int]:
+        """Event counts per kind."""
         counts: Dict[str, int] = {}
         for entry in self.entries:
             counts[entry.kind] = counts.get(entry.kind, 0) + 1
         return counts
 
     def kinds(self) -> set:
+        """The set of event kinds that occurred."""
         return {entry.kind for entry in self.entries}
 
     def format_trace(self, title: str = "fault trace") -> str:
+        """The whole timeline as printable text."""
         lines = [title] + [e.format() for e in self.entries]
         if not self.entries:
             lines.append("(no fault events)")

@@ -50,12 +50,15 @@ class LintLog:
         self.by_code.update(record.by_code)
 
     def total_checks(self) -> int:
+        """Total pass executions across all recorded reports."""
         return sum(self.pass_checks.values())
 
     def total_errors(self) -> int:
+        """Total error-severity diagnostics across all reports."""
         return sum(r.errors for r in self.records)
 
     def summary(self) -> str:
+        """One-line per-pass / per-code digest for the run report."""
         passes = ", ".join(
             f"{name}:{count}" for name, count in sorted(self.pass_checks.items())
         )

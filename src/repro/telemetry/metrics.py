@@ -1,0 +1,122 @@
+"""Counters and histograms for the tracing layer.
+
+A :class:`MetricsRegistry` is the aggregate view of what the span
+stream records event-by-event: how many DSM faults fired
+(``dsm.page_faults``), how long hand-offs took (``migrate.handoff_s``),
+how many bytes crossed the wire (``msg.wire_bytes``).  The registry is
+owned by a :class:`~repro.telemetry.spans.Tracer` and surfaced on
+:class:`~repro.datacenter.energy.RunResult.metrics` and in the CLI run
+report; its snapshot format is stable so exported runs stay diffable.
+
+Like the tracer, metrics are passive and deterministic: updating them
+never charges simulated time and never consumes randomness.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Union
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing named count."""
+
+    name: str
+    value: Union[int, float] = 0
+
+    def inc(self, n: Union[int, float] = 1) -> None:
+        """Add ``n`` (which must be non-negative) to the counter."""
+        if n < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (n={n})")
+        self.value += n
+
+
+@dataclass
+class Histogram:
+    """Summary statistics over observed values (count/total/min/max)."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: float = 0.0
+    max: float = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        if self.count == 0:
+            self.min = value
+            self.max = value
+        else:
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Create-on-demand registry of named counters and histograms."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        metric = self._counters.get(name)
+        if metric is None:
+            if name in self._histograms:
+                raise ValueError(f"{name!r} is already a histogram")
+            metric = Counter(name)
+            self._counters[name] = metric
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name``, created on first use."""
+        metric = self._histograms.get(name)
+        if metric is None:
+            if name in self._counters:
+                raise ValueError(f"{name!r} is already a counter")
+            metric = Histogram(name)
+            self._histograms[name] = metric
+        return metric
+
+    def snapshot(self) -> Dict[str, object]:
+        """A plain-dict, name-sorted view of every metric.
+
+        Counters map to their value; histograms map to a dict with
+        ``count``, ``total``, ``min``, ``max`` and ``mean`` keys.
+        """
+        out: Dict[str, object] = {}
+        for name in sorted(set(self._counters) | set(self._histograms)):
+            counter = self._counters.get(name)
+            if counter is not None:
+                out[name] = counter.value
+            else:
+                histogram = self._histograms[name]
+                out[name] = {
+                    "count": histogram.count,
+                    "total": histogram.total,
+                    "min": histogram.min,
+                    "max": histogram.max,
+                    "mean": histogram.mean,
+                }
+        return out
+
+    def render_rows(self):
+        """(name, formatted value) pairs for table rendering."""
+        rows = []
+        for name, value in self.snapshot().items():
+            if isinstance(value, dict):
+                rows.append(
+                    (name,
+                     f"n={value['count']} total={value['total']:.6g} "
+                     f"mean={value['mean']:.6g}")
+                )
+            else:
+                rows.append((name, f"{value:g}"))
+        return rows

@@ -21,9 +21,11 @@ class MachineTraces:
     load: TimeSeries
 
     def cpu_energy(self, t0: Optional[float] = None, t1: Optional[float] = None) -> float:
+        """Integrated CPU (internal) energy in joules over [t0, t1]."""
         return self.cpu_power.integrate(t0, t1)
 
     def system_energy(self, t0: Optional[float] = None, t1: Optional[float] = None) -> float:
+        """Integrated wall-socket energy in joules over [t0, t1]."""
         return self.system_power.integrate(t0, t1)
 
 
@@ -47,10 +49,13 @@ class PowerRecorder:
         self.sampler.sample_until(self.system.clock.now)
 
     def total_cpu_energy(self) -> float:
+        """Summed CPU energy over every machine."""
         return sum(t.cpu_energy() for t in self.traces.values())
 
     def total_system_energy(self) -> float:
+        """Summed wall-socket energy over every machine."""
         return sum(t.system_energy() for t in self.traces.values())
 
     def machine(self, name: str) -> MachineTraces:
+        """The recorded traces for machine ``name``."""
         return self.traces[name]

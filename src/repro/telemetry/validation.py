@@ -30,6 +30,7 @@ class ValidationLog:
         self.violations: List[ViolationRecord] = []
 
     def note_check(self, checker: str, count: int = 1) -> None:
+        """Count ``count`` executed checks for ``checker``."""
         self.checks[checker] += count
 
     def note_violation(self, exc) -> None:
@@ -44,9 +45,11 @@ class ValidationLog:
         )
 
     def total_checks(self) -> int:
+        """Total invariant checks executed across all checkers."""
         return sum(self.checks.values())
 
     def summary(self) -> str:
+        """One-line check/violation digest for the run report."""
         parts = [
             f"{name}:{count}" for name, count in sorted(self.checks.items())
         ]

@@ -27,7 +27,8 @@ class TestReferencedFilesExist:
     def test_readme_doc_links_exist(self):
         text = _read("README.md")
         for name in ("DESIGN.md", "EXPERIMENTS.md", "docs/model.md",
-                     "docs/calibration.md"):
+                     "docs/calibration.md", "docs/observability.md",
+                     "docs/architecture.md"):
             assert name in text
             assert (ROOT / name).exists()
 
@@ -64,6 +65,74 @@ class TestReferencedModulesImport:
         assert rows, "DESIGN.md experiment index is empty"
         for name in rows:
             assert (ROOT / "benchmarks" / name).exists()
+
+
+class TestObservabilityDocs:
+    """The new docs pages describe real modules, flags and span names."""
+
+    @pytest.mark.parametrize("doc", ["docs/observability.md",
+                                     "docs/architecture.md"])
+    def test_page_exists_and_dotted_paths_import(self, doc):
+        import importlib
+
+        text = _read(doc)
+        for match in sorted(set(re.findall(r"`(repro(?:\.\w+)+)`", text))):
+            module_path, attr = match, None
+            try:
+                importlib.import_module(module_path)
+                continue
+            except ModuleNotFoundError:
+                module_path, _, attr = match.rpartition(".")
+            module = importlib.import_module(module_path)
+            assert hasattr(module, attr), f"{doc}: {match} does not resolve"
+
+    def test_architecture_maps_every_package(self):
+        text = _read("docs/architecture.md")
+        src = ROOT / "src" / "repro"
+        for pkg in sorted(p.name for p in src.iterdir() if p.is_dir()):
+            assert f"`{pkg}/`" in text, (
+                f"docs/architecture.md does not map package {pkg}"
+            )
+
+    @pytest.mark.parametrize("doc", ["docs/observability.md",
+                                     "docs/architecture.md",
+                                     "docs/faults.md"])
+    def test_documented_cli_flags_exist(self, doc):
+        cli_source = (ROOT / "src" / "repro" / "cli.py").read_text()
+        for flag in sorted(set(re.findall(r"(--[a-z][\w-]+)", _read(doc)))):
+            assert f'"{flag}"' in cli_source, (
+                f"{doc} documents unknown CLI flag {flag}"
+            )
+
+    def test_trace_help_covers_documented_flags(self, capsys):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["trace", "--help"])
+        help_text = capsys.readouterr().out
+        for flag in ("--out", "--format", "--critical-path", "--migrate-at",
+                     "--start"):
+            assert flag in help_text
+
+    def test_observability_names_real_spans_and_categories(self):
+        from repro.telemetry.spans import CATEGORIES
+
+        text = _read("docs/observability.md")
+        for category in CATEGORIES:
+            assert f"`{category}`" in text, f"category {category} undocumented"
+        migration = (ROOT / "src" / "repro" / "kernel" /
+                     "migration.py").read_text()
+        for name in re.findall(r"`(migrate\.\w+)`", text):
+            assert f'"{name}"' in migration, (
+                f"docs/observability.md names unknown span {name}"
+            )
+
+    def test_benchmark_artifact_referenced_and_present(self):
+        text = _read("docs/observability.md")
+        assert "benchmarks/results/fig11_critical_path.txt" in text
+        assert (ROOT / "benchmarks" / "results" /
+                "fig11_critical_path.txt").exists()
 
 
 class TestWorkloadDocsMatchRegistry:

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Docstring-coverage check (stdlib-only, used by CI on repro.telemetry).
+
+Usage::
+
+    python tools/check_docstrings.py src/repro/telemetry [more paths...]
+
+Walks the given files/directories and requires a docstring on every
+module, every public class, and every public function/method (names
+not starting with ``_``; ``__init__`` is exempt — the class docstring
+covers construction).  Exits 1 listing each offender.
+"""
+
+import ast
+import sys
+from pathlib import Path
+
+
+def _missing_in(path: Path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    missing = []
+    if ast.get_docstring(tree) is None:
+        missing.append((path, tree.lineno if hasattr(tree, "lineno") else 1,
+                        "module"))
+
+    def visit(node, prefix=""):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                name = child.name
+                public = not name.startswith("_")
+                if public and ast.get_docstring(child) is None:
+                    missing.append((path, child.lineno, prefix + name))
+                if isinstance(child, ast.ClassDef):
+                    visit(child, prefix + name + ".")
+
+    visit(tree)
+    return missing
+
+
+def check(paths):
+    """Return (files_checked, missing) over every .py under ``paths``."""
+    files = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    missing = []
+    for path in files:
+        missing.extend(_missing_in(path))
+    return len(files), missing
+
+
+def main(argv):
+    if not argv:
+        print("usage: check_docstrings.py PATH [PATH...]", file=sys.stderr)
+        return 2
+    checked, missing = check(argv)
+    for path, lineno, name in missing:
+        print(f"{path}:{lineno}: missing docstring on {name}")
+    print(f"checked {checked} file(s): "
+          f"{'FAIL' if missing else 'OK'} ({len(missing)} missing)")
+    return 1 if missing else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
