@@ -2,7 +2,9 @@
 
 import math
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Sequence
+
+from repro.telemetry.metrics import quantile as _quantile
 
 
 @dataclass(frozen=True)
@@ -20,19 +22,6 @@ class FiveNumber:
             f"min={self.minimum:.6g} q1={self.q1:.6g} med={self.median:.6g} "
             f"q3={self.q3:.6g} max={self.maximum:.6g}"
         )
-
-
-def _quantile(sorted_values: List[float], q: float) -> float:
-    """Linear-interpolated quantile of pre-sorted data."""
-    if not sorted_values:
-        raise ValueError("no data")
-    if len(sorted_values) == 1:
-        return sorted_values[0]
-    pos = q * (len(sorted_values) - 1)
-    lo = int(math.floor(pos))
-    hi = min(lo + 1, len(sorted_values) - 1)
-    frac = pos - lo
-    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
 
 
 def five_number_summary(values: Sequence[float]) -> FiveNumber:

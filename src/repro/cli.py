@@ -9,6 +9,7 @@ Usage (also available as ``python -m repro``)::
     python -m repro gaps ft --cls A
     python -m repro lint --all --format json
     python -m repro schedule --pattern periodic --sets 5
+    python -m repro serve redis --traffic diurnal --policy latency-aware
 """
 
 import argparse
@@ -153,6 +154,35 @@ def build_parser() -> argparse.ArgumentParser:
                         help="detector heartbeat period in seconds")
     faults.add_argument("--lease", type=float, default=1.5, metavar="S",
                         help="suspicion-to-confirm lease in seconds")
+
+    serve = sub.add_parser(
+        "serve", help="open-loop serving: run a KV workload under a "
+        "traffic shape with latency-aware migration (see docs/serving.md)")
+    serve.add_argument("workload", help="benchmark name (see `repro list`)")
+    serve.add_argument("--cls", default="A", choices=("A", "B", "C"),
+                       help="NPB problem class (sets the working set the "
+                       "hand-off must move)")
+    serve.add_argument("--traffic", default="steady",
+                       choices=("steady", "diurnal", "flash-crowd"),
+                       help="arrival-trace shape (see docs/serving.md)")
+    serve.add_argument("--policy", default="latency-aware",
+                       choices=("static-x86", "static-arm",
+                                "queue-reactive", "latency-aware"),
+                       help="serving policy deciding where the service "
+                       "lives and when it migrates")
+    serve.add_argument("--seed", type=int, default=7,
+                       help="trace seed (same seed = bit-identical trace)")
+    serve.add_argument("--requests", type=int, default=8000,
+                       help="total requests in the trace (conserved by "
+                       "every shape)")
+    serve.add_argument("--horizon", type=float, default=20.0, metavar="S",
+                       help="trace horizon in simulated seconds")
+    serve.add_argument("--slo-ms", type=float, default=None, metavar="MS",
+                       help="end-to-end latency SLO in milliseconds "
+                       "(default: 10)")
+    serve.add_argument("--out", default=None, metavar="PATH",
+                       help="also export the span trace (Perfetto-loadable "
+                       "trace-event JSON)")
 
     chaos = sub.add_parser(
         "chaos", help="deterministic crash-point enumeration over the "
@@ -602,6 +632,80 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.serving import (
+        DEFAULT_SLO_S,
+        ServingEngine,
+        make_serving_policy,
+        make_trace,
+        slo_report,
+        render_slo_rows,
+    )
+    from repro.sim.rng import DeterministicRng
+    from repro.telemetry.spans import Tracer, check_causality
+
+    #: Per-shape trace parameters: the diurnal default runs two
+    #: day/night cycles with a 6:1 peak:trough ratio so the peak
+    #: actually breaches the default SLO on the ARM box.
+    shape_kwargs = {
+        "steady": {},
+        "diurnal": {"peak_to_trough": 6.0, "periods": 2.0},
+        "flash-crowd": {},
+    }[args.traffic]
+    trace = make_trace(
+        args.traffic, DeterministicRng(args.seed),
+        requests=args.requests, horizon_s=args.horizon, **shape_kwargs,
+    )
+    slo_s = DEFAULT_SLO_S if args.slo_ms is None else args.slo_ms / 1e3
+    tracer = Tracer()
+    engine = ServingEngine(
+        make_serving_policy(args.policy), trace,
+        workload=args.workload, cls=args.cls, slo_s=slo_s, tracer=tracer,
+    )
+    result = engine.run()
+    report = slo_report(
+        [r.latency_s for r in engine.completed], slo_s, trace.requests
+    )
+
+    table = Table(
+        f"serve {args.workload}.{args.cls} — {args.traffic} traffic, "
+        f"{args.policy} policy (seed {args.seed})",
+        ["metric", "value"],
+    )
+    table.add_row("trace checksum", trace.checksum())
+    table.add_row("mean arrival rate", f"{trace.mean_rate():.1f} req/s")
+    table.add_row("simulated time (s)", f"{result.makespan:.4f}")
+    for metric, value in render_slo_rows(report):
+        table.add_row(metric, value)
+    table.add_row("hand-offs", result.migrations)
+    table.add_row("hand-off seconds", f"{result.handoff_seconds:.6f}")
+    table.add_row("blackout seconds", f"{result.overhead_seconds:.6f}")
+    table.add_row("migration stall seconds",
+                  f"{result.migration_stall_seconds:.6f}")
+    table.add_row("deferrals", engine.deferrals)
+    for name, joules in sorted(result.energy_by_machine.items()):
+        table.add_row(f"{name} energy (J)", f"{joules:.2f}")
+    table.add_row("total energy (J)", f"{result.total_energy:.2f}")
+    table.add_row("spans recorded", len(tracer.spans))
+    print(table.render())
+
+    problems = check_causality(tracer.spans)
+    if args.out:
+        from repro.analysis.export import (
+            spans_to_chrome,
+            validate_chrome_trace,
+        )
+
+        text = spans_to_chrome(tracer.spans)
+        problems += validate_chrome_trace(text)
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.out} (chrome)")
+    for problem in problems:
+        print(f"trace problem: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
 def cmd_chaos(args) -> int:
     from repro.faults import registry_scenario, run_chaos_suite
 
@@ -646,6 +750,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "dump": cmd_dump,
         "schedule": cmd_schedule,
         "faults": cmd_faults,
+        "serve": cmd_serve,
         "chaos": cmd_chaos,
     }[args.command]
     try:

@@ -40,6 +40,18 @@ class RunResult:
     # MetricsRegistry.snapshot() of the run's tracer; empty when
     # tracing is off, so untraced results compare equal to old ones.
     metrics: Dict[str, object] = field(default_factory=dict)
+    # ---- open-loop serving (repro.serving) ----
+    # Request-latency percentiles and SLO accounting; all-zero for
+    # batch (non-serving) runs so old results compare equal.
+    requests: int = 0  # requests admitted by the open-loop trace
+    requests_completed: int = 0
+    p50_latency_s: float = 0.0
+    p99_latency_s: float = 0.0
+    p999_latency_s: float = 0.0
+    slo_target_s: float = 0.0  # the latency SLO the run was held to
+    slo_violations: int = 0  # requests finishing above the target
+    slo_violation_seconds: float = 0.0  # summed latency excess over target
+    migration_stall_seconds: float = 0.0  # request wait attributed to hand-offs
 
     @property
     def total_energy(self) -> float:

@@ -94,21 +94,42 @@ class TranslationCache:
     from the cache.  Eviction is modelled by a capacity in blocks.
     """
 
-    def __init__(self, profile: DbtProfile, capacity_blocks: int = 65536):
+    def __init__(
+        self, profile: DbtProfile, capacity_blocks: int = 65536, tracer=None
+    ):
         self.profile = profile
         self.capacity = capacity_blocks
         self._translated: Set = set()
         self.translations = 0
         self.hits = 0
+        self.flushes = 0
+        # Optional repro.telemetry.spans.Tracer: translation traffic
+        # shows up as emul.* metrics and cache flushes as spans.
+        self.tracer = tracer
 
     def execute_block(self, block_key, guest_instrs: float) -> float:
         """Account one block execution; returns translation cycles paid."""
         if block_key in self._translated:
             self.hits += 1
+            if self.tracer is not None:
+                self.tracer.metrics.counter("emul.tcache_hits").inc()
             return 0.0
         if len(self._translated) >= self.capacity:
             # Whole-cache flush, as TCG does when the code buffer fills.
             self._translated.clear()
+            self.flushes += 1
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "emul.tcache_flush", "emul",
+                    capacity_blocks=self.capacity,
+                )
+                self.tracer.metrics.counter("emul.tcache_flushes").inc()
         self._translated.add(block_key)
         self.translations += 1
-        return guest_instrs * self.profile.translate_cycles_per_instr
+        cycles = guest_instrs * self.profile.translate_cycles_per_instr
+        if self.tracer is not None:
+            self.tracer.metrics.counter("emul.translations").inc()
+            self.tracer.metrics.histogram("emul.translate_cycles").observe(
+                cycles
+            )
+        return cycles

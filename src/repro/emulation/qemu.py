@@ -51,15 +51,24 @@ def make_emulated_machine(host: Machine, guest_isa_name: str) -> Machine:
 
 
 def emulation_warmup_seconds(
-    host: Machine, guest_isa_name: str, guest_code_bytes: int
+    host: Machine, guest_isa_name: str, guest_code_bytes: int, tracer=None
 ) -> float:
     """One-time translation cost for a binary's hot code.
 
     Approximates TCG translating the working set once: bytes -> guest
-    instructions -> translate cycles at host speed.
+    instructions -> translate cycles at host speed.  With a ``tracer``
+    the warm-up lands on the trace as an ``emul.warmup`` span starting
+    at the tracer's current simulated time.
     """
     profile = expansion_profile(guest_isa_name, host.isa.name)
     guest_isa = get_isa(guest_isa_name)
     guest_instrs = guest_code_bytes / guest_isa.bytes_per_instr
     cycles = guest_instrs * profile.translate_cycles_per_instr
-    return cycles / host.cpu.freq_hz
+    seconds = cycles / host.cpu.freq_hz
+    if tracer is not None:
+        tracer.complete(
+            "emul.warmup", "emul", tracer.now(), seconds, track=host.name,
+            guest=guest_isa_name, code_bytes=guest_code_bytes,
+        )
+        tracer.metrics.histogram("emul.warmup_s").observe(seconds)
+    return seconds

@@ -66,10 +66,16 @@ class PadMigRuntime:
         system,
         serializer: Optional[ReflectionSerializer] = None,
         java_slowdown: float = DEFAULT_JAVA_SLOWDOWN,
+        tracer=None,
     ):
         self.system = system
         self.serializer = serializer or ReflectionSerializer()
         self.java_slowdown = java_slowdown
+        # Inherit the hosting system's tracer (clock already bound), so
+        # PadMig timelines land on the same trace as everything else.
+        self.tracer = tracer if tracer is not None else getattr(
+            system, "tracer", None
+        )
 
     def _busy(self, machine_name: str, seconds: float, sampler=None) -> None:
         """Advance time with one core of ``machine_name`` busy."""
@@ -137,4 +143,27 @@ class PadMigRuntime:
         phases.append(PadMigPhase("compute", dst_machine, clock.now, after))
         self._busy(dst_machine, after, sampler)
 
+        if self.tracer is not None:
+            self._emit_spans(run, src_machine, dst_machine)
         return run
+
+    def _emit_spans(self, run: PadMigRun, src_machine: str, dst_machine: str) -> None:
+        """One ``managed.run`` span with a child per PadMig phase."""
+        tracer = self.tracer
+        first = run.phases[0]
+        parent = tracer.complete(
+            "managed.run", "managed", first.start, run.total_seconds,
+            track=src_machine, src=src_machine, dst=dst_machine,
+            payload_bytes=run.payload_bytes, objects=run.objects,
+            blackout_s=round(run.migration_blackout_seconds(), 9),
+        )
+        for phase in run.phases:
+            tracer.complete(
+                f"managed.{phase.name}", "managed", phase.start,
+                phase.seconds, track=phase.machine, parent=parent,
+            )
+        tracer.metrics.counter("managed.migrations").inc()
+        tracer.metrics.counter("managed.payload_bytes").inc(run.payload_bytes)
+        tracer.metrics.histogram("managed.blackout_s").observe(
+            run.migration_blackout_seconds()
+        )

@@ -1,0 +1,579 @@
+"""The open-loop request lifecycle engine.
+
+A single-served KV service (Redis is single-threaded) lives on one
+machine of the heterogeneous pair and serves an
+:class:`~repro.serving.traffic.ArrivalTrace` *open-loop*: arrivals
+never wait for completions, so overload shows up as queueing delay —
+the regime the paper's closed batch experiments (Figs. 12–13) never
+enter.  Per-request service time comes from the same cost accounting
+the instruction-level interpreter charges (the workload's analytic
+instruction budget through the machine's per-class CPIs, via
+``datacenter.job.job_duration``), so the serving numbers agree with
+the batch layer's.
+
+Live migration reuses the two-phase hand-off shape of the kernel layer
+(``kernel/migration.py``): the service drains its in-flight request to
+a migration point, then PREPARE (stack transform) → TRANSFER (context
++ hot working set) → PUBLISH (replicated proc-table) → COMMIT
+(rebind) — the service is blacked out from drain to commit, and every
+request whose wait overlaps that window has the overlap attributed to
+migration in its latency breakdown (and, when tracing is on, as a
+``serve.stall.migration`` child span on its critical path).  After
+COMMIT the next ``warmup_requests`` requests pay the residual
+on-demand DSM pull, spread evenly.
+
+Energy follows the consolidation story of the paper's unbalanced
+policies: the machine *not* hosting the service is parked (draws no
+power — the fleet reclaims or sleeps it), both machines are awake for
+the duration of a hand-off, and the hosting machine draws idle or
+one-core-busy power from its measured model (ARM optionally through
+the McPAT FinFET projection, as in the cluster simulator).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro import validate
+from repro.datacenter.cluster import DEFAULT_INTERCONNECT_BW
+from repro.datacenter.energy import RunResult
+from repro.datacenter.job import JobSpec, job_duration
+from repro.machine.machine import Machine, make_xeon_e5_1650v2, make_xgene1
+from repro.machine.mcpat import project_finfet
+from repro.serving.policies import ServingPolicy
+from repro.serving.slo import DEFAULT_SLO_S, slo_report
+from repro.serving.traffic import ArrivalTrace
+from repro.validate.errors import InvariantViolation
+
+
+@dataclass
+class Request:
+    """One KV request's lifecycle timestamps and latency breakdown."""
+
+    index: int
+    arrival_s: float
+    start_s: Optional[float] = None
+    finish_s: Optional[float] = None
+    machine: Optional[str] = None
+    #: Wait attributed to an overlapping migration blackout.
+    migration_stall_s: float = 0.0
+    #: Extra service paid to the post-migration DSM warm-up.
+    warmup_extra_s: float = 0.0
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency (completion minus arrival)."""
+        if self.finish_s is None:
+            raise ValueError(f"request {self.index} not finished")
+        return self.finish_s - self.arrival_s
+
+    @property
+    def queue_wait_s(self) -> float:
+        """Time spent queued before service began."""
+        if self.start_s is None:
+            raise ValueError(f"request {self.index} never started")
+        return self.start_s - self.arrival_s
+
+
+@dataclass(frozen=True)
+class HandoffCosts:
+    """Cost model of one live service hand-off (mirrors the kernel's
+    two-phase protocol constants in ``datacenter.job.migration_penalty``)."""
+
+    transform_s: float = 0.0006  # single-threaded stack transform
+    transfer_base_s: float = 0.0002  # the resume-token message
+    publish_s: float = 0.0002  # replicated proc-table write
+    commit_s: float = 0.0001  # destination rebind
+    hot_fraction: float = 0.1  # working set pushed eagerly in TRANSFER
+    warmup_requests: int = 64  # requests sharing the residual DSM pull
+
+    def transfer_s(self, footprint_bytes: int, bandwidth: float) -> float:
+        """TRANSFER duration: token plus the eager hot-set push."""
+        return self.transfer_base_s + self.hot_fraction * footprint_bytes / bandwidth
+
+    def blackout_s(self, footprint_bytes: int, bandwidth: float) -> float:
+        """Drain-to-commit service outage (excluding the drain itself)."""
+        return (
+            self.transform_s
+            + self.transfer_s(footprint_bytes, bandwidth)
+            + self.publish_s
+            + self.commit_s
+        )
+
+    def warmup_extra_s(self, footprint_bytes: int, bandwidth: float) -> float:
+        """Per-request surcharge amortising the residual on-demand pull."""
+        cold = (1.0 - self.hot_fraction) * footprint_bytes / bandwidth
+        return cold / self.warmup_requests
+
+
+@dataclass(frozen=True)
+class ServingView:
+    """What a policy sees at a decision epoch (all deterministic)."""
+
+    now: float
+    machine: str  # where the service currently lives
+    machines: Dict[str, str]  # machine name -> ISA name
+    service_s: Dict[str, float]  # per-request service time by machine
+    queue_depth: int
+    in_service: bool
+    migrating: bool
+    rate: float  # arrivals/s over the trailing window
+    prev_rate: float  # the window before that (trend detection)
+    slo_s: float
+    blackout_s: float  # engine's hand-off outage estimate
+    since_commit_s: float  # seconds since the last hand-off committed
+
+
+@dataclass
+class _Handoff:
+    """One in-flight service hand-off's timeline."""
+
+    src: str
+    dst: str
+    decided_at: float
+    reason: str
+    phase: str = "drain"  # drain -> blackout -> (committed)
+    next_at: Optional[float] = None
+    blackout_start: Optional[float] = None
+    commit_at: Optional[float] = None
+    phase_ends: List[Tuple[str, float]] = field(default_factory=list)
+
+
+class ServingEngine:
+    """Runs one arrival trace against one policy on the machine pair."""
+
+    def __init__(
+        self,
+        policy: ServingPolicy,
+        trace: ArrivalTrace,
+        workload: str = "redis",
+        cls: str = "A",
+        machines: Optional[List[Machine]] = None,
+        slo_s: float = DEFAULT_SLO_S,
+        decision_period_s: float = 0.05,
+        rate_window_s: float = 0.5,
+        interconnect_bw: float = DEFAULT_INTERCONNECT_BW,
+        project_arm_finfet: bool = True,
+        costs: Optional[HandoffCosts] = None,
+        tracer=None,
+        start_machine: Optional[str] = None,
+    ):
+        if tracer is None:
+            from repro.telemetry.spans import maybe_tracer
+
+            tracer = maybe_tracer()
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.bind_clock(self)
+        self.policy = policy
+        self.trace = trace
+        self.spec = JobSpec(workload, cls, 1)
+        self.slo_s = slo_s
+        self.decision_period_s = decision_period_s
+        self.rate_window_s = rate_window_s
+        self.interconnect_bw = interconnect_bw
+        self.costs = costs if costs is not None else HandoffCosts()
+        if machines is None:
+            machines = [make_xgene1("arm-server"), make_xeon_e5_1650v2("x86-server")]
+        if len(machines) < 2:
+            raise ValueError("serving needs the heterogeneous machine pair")
+        self.machines: Dict[str, Machine] = {m.name: m for m in machines}
+        self._isa_by_machine = {m.name: m.isa.name for m in machines}
+        self._powers = {}
+        for machine in machines:
+            power = machine.power
+            if project_arm_finfet and machine.isa.name == "arm64":
+                power = project_finfet(power)
+            self._powers[machine.name] = power
+        self.service_s = {
+            m.name: job_duration(self.spec, m)
+            / self.spec.profile().params(cls).elements
+            for m in machines
+        }
+        footprint = self.spec.profile().params(cls).footprint_bytes
+        self._footprint = footprint
+        self.blackout_estimate_s = self.costs.blackout_s(footprint, interconnect_bw)
+        self._warmup_extra = self.costs.warmup_extra_s(footprint, interconnect_bw)
+
+        self.location = (
+            start_machine
+            if start_machine is not None
+            else policy.start_machine(self._isa_by_machine)
+        )
+        if self.location not in self.machines:
+            raise KeyError(f"unknown start machine {self.location!r}")
+
+        # ---- mutable run state ----
+        self.now = 0.0
+        self.queue: List[Request] = []  # FIFO; index 0 is next
+        self._queue_head = 0  # pop pointer (avoids O(n) pops)
+        self.current: Optional[Request] = None
+        self._service_end = 0.0
+        self._handoff: Optional[_Handoff] = None
+        self._warmup_left = 0
+        self._last_commit = -1e9
+        self.completed: List[Request] = []
+        self.migrations = 0
+        self.deferrals = 0
+        self.busy_seconds = 0.0
+        self.blackout_seconds = 0.0
+        self.handoff_seconds = 0.0
+        self.energy_joules = {m.name: 0.0 for m in machines}
+        #: (start, end, handoff_span_id) of every completed blackout.
+        self._blackouts: List[Tuple[float, float, Optional[int]]] = []
+
+    # ------------------------------------------------------------ helpers
+
+    def _queue_depth(self) -> int:
+        return len(self.queue) - self._queue_head
+
+    def _pop_queue(self) -> Request:
+        request = self.queue[self._queue_head]
+        self._queue_head += 1
+        if self._queue_head > 4096 and self._queue_head * 2 > len(self.queue):
+            del self.queue[: self._queue_head]
+            self._queue_head = 0
+        return request
+
+    def _rate_between(self, t0: float, t1: float) -> float:
+        if t1 <= t0:
+            return 0.0
+        return self.trace.arrivals_between(max(t0, 0.0), t1) / (t1 - t0)
+
+    def _accrue(self, dt: float) -> None:
+        """Integrate both machines' power over ``dt`` seconds."""
+        if dt <= 0:
+            return
+        for name, power in self._powers.items():
+            if name == self.location:
+                busy = 1.0 if self.current is not None else 0.0
+                watts = power.cpu_power(busy)
+            elif self._handoff is not None:
+                # Both boxes are awake for the duration of a hand-off.
+                watts = power.cpu_power(
+                    1.0 if self._handoff.phase != "drain" else 0.0
+                )
+            else:
+                watts = 0.0  # parked: the fleet reclaimed the idle box
+            self.energy_joules[name] += watts * dt
+
+    # ----------------------------------------------------------- service
+
+    def _start_next(self) -> None:
+        """Begin serving the head-of-queue request (if any, and allowed)."""
+        if self.current is not None or self._handoff is not None:
+            return
+        if self._queue_depth() == 0:
+            return
+        request = self._pop_queue()
+        request.start_s = self.now
+        request.machine = self.location
+        service = self.service_s[self.location]
+        if self._warmup_left > 0:
+            request.warmup_extra_s = self._warmup_extra
+            service += self._warmup_extra
+            self._warmup_left -= 1
+            if self._warmup_left == 0:
+                self._end_warmup()
+        # Attribute any overlap between the wait and past blackouts.
+        for b0, b1, span_id in self._blackouts:
+            overlap = min(b1, request.start_s) - max(b0, request.arrival_s)
+            if overlap > 1e-12:
+                request.migration_stall_s += overlap
+        self.current = request
+        self._service_end = self.now + service
+
+    def _on_departure(self) -> None:
+        request = self.current
+        request.finish_s = self.now
+        self.busy_seconds += self.now - request.start_s
+        self.current = None
+        self.completed.append(request)
+        if self.tracer is not None:
+            self._emit_request_span(request)
+        handoff = self._handoff
+        if handoff is not None and handoff.phase == "drain":
+            self._begin_blackout(handoff)
+        else:
+            self._start_next()
+
+    def _emit_request_span(self, request: Request) -> None:
+        tracer = self.tracer
+        attrs = {
+            "req": request.index,
+            "queue_s": round(request.queue_wait_s, 9),
+            "service_s": round(request.finish_s - request.start_s, 9),
+        }
+        if request.warmup_extra_s:
+            attrs["warmup_s"] = round(request.warmup_extra_s, 9)
+        span = tracer.complete(
+            "serve.request", "serve", request.arrival_s,
+            request.latency_s, track=request.machine, **attrs,
+        )
+        if request.migration_stall_s > 0.0:
+            # The stall is the part of the wait spent inside blackouts:
+            # one child per overlapping blackout, flow-linked to the
+            # hand-off that caused it — the request's critical path
+            # shows exactly which migration cost it how much.
+            for b0, b1, cause in self._blackouts:
+                lo = max(b0, request.arrival_s)
+                hi = min(b1, request.start_s)
+                if hi - lo > 1e-12:
+                    stall_attrs = {"req": request.index}
+                    if cause is not None:
+                        stall_attrs["flow"] = cause
+                    tracer.complete(
+                        "serve.stall.migration", "serve", lo, hi - lo,
+                        track=request.machine, parent=span, **stall_attrs,
+                    )
+            tracer.metrics.histogram("serve.stall_s").observe(
+                request.migration_stall_s
+            )
+        tracer.metrics.counter("serve.completed").inc()
+        tracer.metrics.histogram("serve.latency_s").observe(request.latency_s)
+        tracer.metrics.histogram("serve.queue_wait_s").observe(
+            request.queue_wait_s
+        )
+
+    # ---------------------------------------------------------- hand-off
+
+    def _initiate_handoff(self, target: str, reason: str) -> None:
+        handoff = _Handoff(
+            src=self.location, dst=target, decided_at=self.now, reason=reason
+        )
+        self._handoff = handoff
+        if self.tracer is not None:
+            self.tracer.metrics.counter("serve.handoffs").inc()
+        if self.current is None:
+            self._begin_blackout(handoff)
+        # else: drain — blackout begins when the in-flight request ends.
+
+    def _begin_blackout(self, handoff: _Handoff) -> None:
+        handoff.phase = "transform"
+        handoff.blackout_start = self.now
+        t = self.now + self.costs.transform_s
+        handoff.phase_ends.append(("transform", t))
+        transfer = self.costs.transfer_s(self._footprint, self.interconnect_bw)
+        t += transfer
+        handoff.phase_ends.append(("transfer", t))
+        t += self.costs.publish_s
+        handoff.phase_ends.append(("publish", t))
+        t += self.costs.commit_s
+        handoff.phase_ends.append(("commit", t))
+        handoff.commit_at = t
+        handoff.next_at = t
+
+    def _commit_handoff(self) -> None:
+        handoff = self._handoff
+        self._handoff = None
+        self.location = handoff.dst
+        self.migrations += 1
+        self._warmup_left = self.costs.warmup_requests
+        self._last_commit = self.now
+        blackout = self.now - handoff.blackout_start
+        self.blackout_seconds += blackout
+        self.handoff_seconds += self.now - handoff.decided_at
+        span_id = None
+        if self.tracer is not None:
+            span_id = self._emit_handoff_spans(handoff)
+        self._blackouts.append((handoff.blackout_start, self.now, span_id))
+        self._start_next()
+
+    def _emit_handoff_spans(self, handoff: _Handoff) -> int:
+        tracer = self.tracer
+        parent = tracer.complete(
+            "serve.handoff", "serve", handoff.decided_at,
+            self.now - handoff.decided_at, track=handoff.dst,
+            src=handoff.src, dst=handoff.dst, reason=handoff.reason,
+            service=str(self.spec),
+        )
+        # PREPARE covers the drain to a migration point plus the stack
+        # transform; the remaining children mirror the kernel protocol.
+        prepare_end = dict(handoff.phase_ends)["transform"]
+        tracer.complete(
+            "serve.prepare", "serve", handoff.decided_at,
+            prepare_end - handoff.decided_at, track=handoff.src,
+            parent=parent,
+            drain_s=round(handoff.blackout_start - handoff.decided_at, 9),
+            transform_s=self.costs.transform_s,
+        )
+        cursor = prepare_end
+        for name, end in handoff.phase_ends[1:]:
+            track = handoff.src if name == "transfer" else handoff.dst
+            tracer.complete(
+                f"serve.{name}", "serve", cursor, end - cursor,
+                track=track, parent=parent,
+            )
+            cursor = end
+        tracer.metrics.histogram("serve.blackout_s").observe(
+            self.now - handoff.blackout_start
+        )
+        return parent.span_id
+
+    def _end_warmup(self) -> None:
+        if self.tracer is not None and self._blackouts:
+            b0, b1, cause = self._blackouts[-1]
+            attrs = {"requests": self.costs.warmup_requests}
+            if cause is not None:
+                attrs["flow"] = cause
+            self.tracer.complete(
+                "serve.warmup", "serve", b1, self.now - b1,
+                track=self.location, **attrs,
+            )
+
+    # ----------------------------------------------------------- policy
+
+    def _run_epoch(self) -> None:
+        w = self.rate_window_s
+        view = ServingView(
+            now=self.now,
+            machine=self.location,
+            machines=dict(self._isa_by_machine),
+            service_s=dict(self.service_s),
+            queue_depth=self._queue_depth(),
+            in_service=self.current is not None,
+            migrating=self._handoff is not None,
+            rate=self._rate_between(self.now - w, self.now),
+            prev_rate=self._rate_between(self.now - 2 * w, self.now - w),
+            slo_s=self.slo_s,
+            blackout_s=self.blackout_estimate_s,
+            since_commit_s=self.now - self._last_commit,
+        )
+        decision = self.policy.decide(view)
+        if decision is None:
+            return
+        if self.tracer is not None:
+            self.tracer.instant(
+                "serve.decision", "serve", track=self.location,
+                policy=self.policy.name, target=decision.target,
+                reason=decision.reason,
+            )
+            self.tracer.metrics.counter("serve.decisions").inc()
+        if decision.target is None:
+            self.deferrals += 1
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "serve.defer", "serve", track=self.location,
+                    policy=self.policy.name, reason=decision.reason,
+                )
+                self.tracer.metrics.counter("serve.deferrals").inc()
+            return
+        if decision.target == self.location:
+            return
+        if decision.target not in self.machines:
+            raise KeyError(f"policy chose unknown machine {decision.target!r}")
+        self._initiate_handoff(decision.target, decision.reason)
+
+    # -------------------------------------------------------------- run
+
+    def run(self) -> RunResult:
+        """Drive the trace to completion and summarise the run."""
+        times = self.trace.times
+        n = len(times)
+        idx = 0
+        next_epoch = self.decision_period_s
+
+        while True:
+            candidates = []
+            handoff = self._handoff
+            if handoff is not None and handoff.next_at is not None:
+                candidates.append((handoff.next_at, 0))
+            if self.current is not None:
+                candidates.append((self._service_end, 1))
+            if idx < n:
+                candidates.append((times[idx], 2))
+            work_left = (
+                idx < n
+                or self._queue_depth() > 0
+                or self.current is not None
+                or self._handoff is not None
+            )
+            if work_left:
+                candidates.append((next_epoch, 3))
+            if not candidates:
+                break
+            t, kind = min(candidates)
+            self._accrue(t - self.now)
+            self.now = t
+            if kind == 0:
+                self._commit_handoff()
+            elif kind == 1:
+                self._on_departure()
+            elif kind == 2:
+                request = Request(index=idx, arrival_s=t)
+                idx += 1
+                self.queue.append(request)
+                if self.tracer is not None:
+                    self.tracer.metrics.counter("serve.requests").inc()
+                self._start_next()
+            else:
+                self._run_epoch()
+                next_epoch = self.now + self.decision_period_s
+
+        if validate.enabled():
+            self._check_conservation(n)
+        return self._result(n)
+
+    def _check_conservation(self, admitted: int) -> None:
+        """REPRO_VALIDATE: every request accounted for, breakdown sane."""
+        if len(self.completed) != admitted:
+            raise InvariantViolation(
+                "serving", "requests-conserved",
+                f"admitted {admitted}, completed {len(self.completed)}",
+                state={"queue_depth": self._queue_depth()},
+            )
+        for request in self.completed:
+            if not (
+                request.arrival_s - 1e-9
+                <= request.start_s
+                <= request.finish_s + 1e-9
+            ):
+                raise InvariantViolation(
+                    "serving", "request-timeline",
+                    f"request {request.index} timestamps out of order",
+                    state={
+                        "arrival": request.arrival_s,
+                        "start": request.start_s,
+                        "finish": request.finish_s,
+                    },
+                )
+            if request.migration_stall_s > request.queue_wait_s + 1e-9:
+                raise InvariantViolation(
+                    "serving", "stall-within-wait",
+                    f"request {request.index} stall exceeds its queue wait",
+                    state={
+                        "stall": request.migration_stall_s,
+                        "wait": request.queue_wait_s,
+                    },
+                )
+
+    def _result(self, admitted: int) -> RunResult:
+        latencies = [r.latency_s for r in self.completed]
+        report = slo_report(latencies, self.slo_s, admitted)
+        return RunResult(
+            policy=self.policy.name,
+            makespan=self.now,
+            energy_by_machine=dict(self.energy_joules),
+            migrations=self.migrations,
+            job_count=admitted,
+            mean_response=report.mean_s,
+            busy_seconds=self.busy_seconds,
+            overhead_seconds=self.blackout_seconds,
+            handoffs=self.migrations,
+            handoff_seconds=self.handoff_seconds,
+            metrics=(
+                self.tracer.metrics.snapshot()
+                if self.tracer is not None
+                else {}
+            ),
+            requests=admitted,
+            requests_completed=report.completed,
+            p50_latency_s=report.p50_s,
+            p99_latency_s=report.p99_s,
+            p999_latency_s=report.p999_s,
+            slo_target_s=self.slo_s,
+            slo_violations=report.violations,
+            slo_violation_seconds=report.violation_seconds,
+            migration_stall_seconds=sum(
+                r.migration_stall_s for r in self.completed
+            ),
+        )

@@ -1,0 +1,211 @@
+"""Deterministic open-loop arrival traces for the serving subsystem.
+
+A trace is a fixed, sorted tuple of request arrival times drawn from a
+named *shape* — the time-varying intensity profiles real KV fleets see:
+
+* ``steady`` — homogeneous Poisson traffic (constant intensity);
+* ``diurnal`` — a sinusoid-modulated day/night cycle (troughs are when
+  a latency-aware policy drains the service to the efficient ARM box);
+* ``flash-crowd`` — steady base traffic with a step surge window (the
+  regime that punishes a mis-timed hand-off hardest).
+
+Every shape draws exactly ``requests`` arrivals by inverse-CDF sampling
+of its cumulative intensity: one sorted batch of uniforms from a named
+:class:`~repro.sim.rng.DeterministicRng` stream is mapped through
+``Λ⁻¹``, so the total request count is conserved by construction (the
+shape only redistributes *when* the requests land) and the same seed
+reproduces the trace bit-for-bit.
+
+Traces compose with the batch layer: :func:`to_job_arrivals` subsamples
+a trace into ``(time, JobSpec)`` pairs drawn from the existing
+``datacenter.arrivals`` job mixes, so any traffic shape can also drive
+``ClusterSimulator.run_periodic`` as background batch load.
+"""
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.datacenter.arrivals import DEFAULT_MIX
+from repro.datacenter.job import JobSpec
+from repro.sim.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class ArrivalTrace:
+    """One open-loop request trace: sorted arrival times over a horizon."""
+
+    shape: str
+    horizon_s: float
+    times: Tuple[float, ...]
+
+    @property
+    def requests(self) -> int:
+        """Total number of requests in the trace."""
+        return len(self.times)
+
+    def mean_rate(self) -> float:
+        """Average arrival rate over the horizon (requests/second)."""
+        return self.requests / self.horizon_s if self.horizon_s > 0 else 0.0
+
+    def checksum(self) -> str:
+        """A content digest of the trace (determinism tests, baselines)."""
+        payload = ",".join(f"{t:.9f}" for t in self.times)
+        digest = hashlib.sha256(f"{self.shape}:{payload}".encode())
+        return digest.hexdigest()[:16]
+
+    def arrivals_between(self, t0: float, t1: float) -> int:
+        """How many requests arrived in ``[t0, t1)`` (rate estimation)."""
+        import bisect
+
+        return bisect.bisect_left(self.times, t1) - bisect.bisect_left(
+            self.times, t0
+        )
+
+
+def _sorted_uniforms(rng: DeterministicRng, count: int, stream: str) -> List[float]:
+    draw = rng.stream(stream)
+    return sorted(draw.random() for _ in range(count))
+
+
+def _invert_monotone(
+    cumulative: Callable[[float], float],
+    target: float,
+    horizon_s: float,
+    iterations: int = 60,
+) -> float:
+    """Bisection inverse of a monotone cumulative intensity on [0, H]."""
+    lo, hi = 0.0, horizon_s
+    for _ in range(iterations):
+        mid = 0.5 * (lo + hi)
+        if cumulative(mid) < target:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def steady(
+    rng: DeterministicRng,
+    requests: int = 4000,
+    horizon_s: float = 20.0,
+    stream: str = "traffic",
+) -> ArrivalTrace:
+    """Homogeneous Poisson traffic: constant intensity over the horizon.
+
+    Conditioned on the total count, Poisson arrivals are the order
+    statistics of uniforms — which is exactly what we draw.
+    """
+    times = tuple(u * horizon_s for u in _sorted_uniforms(rng, requests, stream))
+    return ArrivalTrace("steady", horizon_s, times)
+
+
+def diurnal(
+    rng: DeterministicRng,
+    requests: int = 4000,
+    horizon_s: float = 20.0,
+    peak_to_trough: float = 4.0,
+    periods: float = 1.0,
+    stream: str = "traffic",
+) -> ArrivalTrace:
+    """Sinusoid-modulated traffic: ``periods`` day/night cycles.
+
+    Intensity ``λ(t) = 1 + a·sin(ωt − π/2)`` (relative units) starts at
+    the trough, peaks mid-cycle; ``a`` is set so the peak:trough ratio
+    equals ``peak_to_trough``.
+    """
+    if peak_to_trough < 1.0:
+        raise ValueError("peak_to_trough must be >= 1")
+    amp = (peak_to_trough - 1.0) / (peak_to_trough + 1.0)
+    omega = 2.0 * math.pi * periods / horizon_s
+    phase = -math.pi / 2.0
+
+    def cumulative(t: float) -> float:
+        return t + (amp / omega) * (math.cos(phase) - math.cos(omega * t + phase))
+
+    total = cumulative(horizon_s)
+    times = tuple(
+        _invert_monotone(cumulative, u * total, horizon_s)
+        for u in _sorted_uniforms(rng, requests, stream)
+    )
+    return ArrivalTrace("diurnal", horizon_s, times)
+
+
+def flash_crowd(
+    rng: DeterministicRng,
+    requests: int = 4000,
+    horizon_s: float = 20.0,
+    surge_start_frac: float = 0.4,
+    surge_duration_frac: float = 0.15,
+    surge_multiplier: float = 8.0,
+    stream: str = "traffic",
+) -> ArrivalTrace:
+    """Steady base traffic with a step surge window.
+
+    Intensity is 1 outside ``[start, start+duration)`` and
+    ``surge_multiplier`` inside; the total request count is conserved,
+    so the surge *concentrates* the trace's requests rather than adding
+    load — the closed-form piecewise inverse keeps sampling exact.
+    """
+    if surge_multiplier < 1.0:
+        raise ValueError("surge_multiplier must be >= 1")
+    start = surge_start_frac * horizon_s
+    duration = surge_duration_frac * horizon_s
+    if start + duration > horizon_s:
+        raise ValueError("surge window extends past the horizon")
+    total = horizon_s + (surge_multiplier - 1.0) * duration
+    at_start = start
+    at_end = start + surge_multiplier * duration
+
+    def invert(target: float) -> float:
+        if target <= at_start:
+            return target
+        if target <= at_end:
+            return start + (target - at_start) / surge_multiplier
+        return start + duration + (target - at_end)
+
+    times = tuple(
+        invert(u * total) for u in _sorted_uniforms(rng, requests, stream)
+    )
+    return ArrivalTrace("flash-crowd", horizon_s, times)
+
+
+#: Named shape registry; the ``repro serve --traffic`` choices.
+TRAFFIC_SHAPES: Dict[str, Callable[..., ArrivalTrace]] = {
+    "steady": steady,
+    "diurnal": diurnal,
+    "flash-crowd": flash_crowd,
+}
+
+
+def make_trace(shape: str, rng: DeterministicRng, **kwargs) -> ArrivalTrace:
+    """Build the named traffic shape (see :data:`TRAFFIC_SHAPES`)."""
+    try:
+        generator = TRAFFIC_SHAPES[shape]
+    except KeyError:
+        raise KeyError(
+            f"unknown traffic shape {shape!r}; have {sorted(TRAFFIC_SHAPES)}"
+        ) from None
+    return generator(rng, **kwargs)
+
+
+def to_job_arrivals(
+    trace: ArrivalTrace,
+    rng: DeterministicRng,
+    mix: Sequence[JobSpec] = DEFAULT_MIX,
+    every: int = 200,
+) -> List[Tuple[float, JobSpec]]:
+    """Subsample a traffic shape into batch-job arrivals.
+
+    Every ``every``-th request time becomes one job drawn from the
+    ``datacenter.arrivals`` mix, so the same diurnal/flash-crowd shape
+    that drives the serving engine can drive
+    ``ClusterSimulator.run_periodic`` as background load.
+    """
+    if every < 1:
+        raise ValueError("every must be >= 1")
+    return [
+        (t, rng.choice("jobmix", list(mix)))
+        for t in trace.times[::every]
+    ]

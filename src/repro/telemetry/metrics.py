@@ -12,8 +12,42 @@ Like the tracer, metrics are passive and deterministic: updating them
 never charges simulated time and never consumes randomness.
 """
 
-from dataclasses import dataclass
-from typing import Dict, Union
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple, Union
+
+
+def quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolated quantile of pre-sorted data.
+
+    The single shared quantile implementation: ``analysis.stats`` (box
+    plots), the serving SLO accounting (``serving.slo``) and
+    :class:`SampleHistogram` all call this, so every percentile in the
+    repo is computed the same way.
+    """
+    if not sorted_values:
+        raise ValueError("no data")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    pos = q * (len(sorted_values) - 1)
+    lo = int(math.floor(pos))
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
+
+
+def percentiles(
+    values: Sequence[float], qs: Sequence[float] = (0.5, 0.99, 0.999)
+) -> Tuple[float, ...]:
+    """The requested quantiles of ``values`` (sorted once, shared).
+
+    Returns zeros when ``values`` is empty so callers surfacing
+    latency summaries on empty runs need no special case.
+    """
+    if not values:
+        return tuple(0.0 for _ in qs)
+    data = sorted(values)
+    return tuple(quantile(data, q) for q in qs)
 
 
 @dataclass
@@ -56,6 +90,31 @@ class Histogram:
     def mean(self) -> float:
         """Arithmetic mean of the observations (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class SampleHistogram(Histogram):
+    """A histogram that also retains every sample for quantiles.
+
+    Used where tail percentiles matter (serving SLO accounting):
+    :meth:`quantile` interpolates over the retained samples with the
+    shared :func:`quantile` helper.  Summary fields stay identical to
+    :class:`Histogram`, so a :class:`SampleHistogram` drops into any
+    snapshot without changing the stable format.
+    """
+
+    samples: List[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        """Record one observation, retaining the sample."""
+        super().observe(value)
+        self.samples.append(float(value))
+
+    def quantile(self, q: float) -> float:
+        """The interpolated ``q``-quantile of the samples (0.0 if empty)."""
+        if not self.samples:
+            return 0.0
+        return quantile(sorted(self.samples), q)
 
 
 class MetricsRegistry:

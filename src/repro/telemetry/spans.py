@@ -42,7 +42,10 @@ from repro.telemetry.metrics import MetricsRegistry
 _TRUTHY = ("1", "true", "yes", "on")
 
 #: Span categories emitted by the built-in instrumentation sites.
-CATEGORIES = ("migrate", "dsm", "msg", "sys", "sched", "fault", "detector")
+CATEGORIES = (
+    "migrate", "dsm", "msg", "sys", "sched", "fault", "detector",
+    "serve", "emul", "managed",
+)
 
 
 @dataclass

@@ -71,7 +71,8 @@ class TestObservabilityDocs:
     """The new docs pages describe real modules, flags and span names."""
 
     @pytest.mark.parametrize("doc", ["docs/observability.md",
-                                     "docs/architecture.md"])
+                                     "docs/architecture.md",
+                                     "docs/serving.md"])
     def test_page_exists_and_dotted_paths_import(self, doc):
         import importlib
 
@@ -96,7 +97,8 @@ class TestObservabilityDocs:
 
     @pytest.mark.parametrize("doc", ["docs/observability.md",
                                      "docs/architecture.md",
-                                     "docs/faults.md"])
+                                     "docs/faults.md",
+                                     "docs/serving.md"])
     def test_documented_cli_flags_exist(self, doc):
         cli_source = (ROOT / "src" / "repro" / "cli.py").read_text()
         for flag in sorted(set(re.findall(r"(--[a-z][\w-]+)", _read(doc)))):
@@ -133,6 +135,30 @@ class TestObservabilityDocs:
         assert "benchmarks/results/fig11_critical_path.txt" in text
         assert (ROOT / "benchmarks" / "results" /
                 "fig11_critical_path.txt").exists()
+
+
+class TestServingDocs:
+    """docs/serving.md names every real traffic shape and policy."""
+
+    def test_names_every_shape_and_policy(self):
+        from repro.serving import SERVING_POLICIES, TRAFFIC_SHAPES
+
+        text = _read("docs/serving.md")
+        for shape in TRAFFIC_SHAPES:
+            assert f"`{shape}`" in text, f"shape {shape} undocumented"
+        for policy in SERVING_POLICIES:
+            assert f"`{policy}`" in text, f"policy {policy} undocumented"
+
+    def test_cross_linked_from_entry_docs(self):
+        for doc in ("README.md", "DESIGN.md", "docs/architecture.md",
+                    "docs/observability.md"):
+            assert "serving.md" in _read(doc), f"{doc} lacks serving link"
+
+    def test_benchmark_artifacts_referenced_and_present(self):
+        text = _read("docs/serving.md")
+        for name in ("serving_flash_crowd", "serving_diurnal"):
+            assert f"benchmarks/results/{name}.txt" in text
+            assert (ROOT / "benchmarks" / "results" / f"{name}.txt").exists()
 
 
 class TestWorkloadDocsMatchRegistry:

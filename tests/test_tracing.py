@@ -293,3 +293,92 @@ class TestDocstringCoverage:
         )
         assert checked >= 8
         assert missing == [], f"missing docstrings: {missing}"
+
+
+class TestBaselineTracing:
+    """The emulation/ and managed/ baselines land on the same traces
+    as everything else (they used to bypass telemetry entirely)."""
+
+    def _padmig_run(self, tracer):
+        from repro.managed import (
+            ManagedArray,
+            ManagedObject,
+            ObjectGraph,
+            PadMigRuntime,
+        )
+
+        root = ManagedObject("ISBenchmark")
+        root.set_ref("keys", ManagedArray("int", [0] * 50_000))
+        system = boot_testbed(tracer=tracer)
+        runtime = PadMigRuntime(system)
+        return runtime.run_with_migration(
+            ObjectGraph([root]), "x86-server", "arm-server",
+            native_compute_before_s=0.5, native_compute_after_s=0.5,
+        )
+
+    def test_padmig_inherits_system_tracer(self):
+        tracer = Tracer()
+        run = self._padmig_run(tracer)
+        assert check_causality(tracer.spans) == []
+        parents = [s for s in tracer.spans if s.name == "managed.run"]
+        assert len(parents) == 1
+        children = [
+            s.name for s in tracer.spans
+            if s.parent_id == parents[0].span_id
+        ]
+        # Two compute halves around the serialise/ship/deserialise.
+        assert children.count("managed.compute") == 2
+        for phase in ("managed.serialize", "managed.transfer",
+                      "managed.deserialize"):
+            assert phase in children
+        assert parents[0].attrs["payload_bytes"] == run.payload_bytes
+        assert tracer.metrics.counter("managed.migrations").value == 1
+
+    def test_padmig_spans_match_phase_timeline(self):
+        tracer = Tracer()
+        run = self._padmig_run(tracer)
+        spans = {
+            (s.name, s.start_s): s for s in tracer.spans
+            if s.name.startswith("managed.") and s.name != "managed.run"
+        }
+        for phase in run.phases:
+            span = spans[(f"managed.{phase.name}", phase.start)]
+            assert span.end_s == pytest.approx(phase.end)
+            assert span.track == phase.machine
+
+    def test_padmig_untraced_unchanged(self):
+        traced = self._padmig_run(Tracer())
+        untraced = self._padmig_run(None)
+        assert untraced.phases == traced.phases
+
+    def test_translation_cache_metrics(self):
+        from repro.emulation import TranslationCache, expansion_profile
+
+        tracer = Tracer()
+        cache = TranslationCache(
+            expansion_profile("arm64", "x86_64"), capacity_blocks=2,
+            tracer=tracer,
+        )
+        cache.execute_block("a", 10)
+        cache.execute_block("a", 10)  # hit
+        cache.execute_block("b", 10)
+        cache.execute_block("c", 10)  # flush
+        assert cache.flushes == 1
+        assert tracer.metrics.counter("emul.translations").value == 3
+        assert tracer.metrics.counter("emul.tcache_hits").value == 1
+        assert tracer.metrics.counter("emul.tcache_flushes").value == 1
+        flushes = [s for s in tracer.spans if s.name == "emul.tcache_flush"]
+        assert len(flushes) == 1
+
+    def test_emulation_warmup_span(self):
+        from repro.emulation import emulation_warmup_seconds
+
+        tracer = Tracer()
+        host = make_xeon_e5_1650v2("host")
+        seconds = emulation_warmup_seconds(host, "arm64", 64 * 1024, tracer)
+        spans = [s for s in tracer.spans if s.name == "emul.warmup"]
+        assert len(spans) == 1
+        assert spans[0].end_s - spans[0].start_s == pytest.approx(seconds)
+        assert spans[0].attrs["guest"] == "arm64"
+        # The tracer is passive: costs are unchanged with tracing off.
+        assert emulation_warmup_seconds(host, "arm64", 64 * 1024) == seconds

@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Serving performance baseline: run the standard policy sweep, write
+``BENCH_serving.json``.
+
+The baseline has two kinds of fields:
+
+* **deterministic run facts** — trace checksums, p99 latencies, SLO
+  violations, hand-off counts.  These must be bit-identical on every
+  machine; ``--check`` diffs them against the committed baseline and
+  exits non-zero on drift (a silent behaviour change in the engine,
+  the traffic sampler, or the cost model).
+* **throughput** — wall-clock seconds and simulated requests processed
+  per wall second.  Informational: they vary with hardware and are
+  never compared.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_serving.py            # rewrite baseline
+    PYTHONPATH=src python tools/bench_serving.py --check    # CI: diff facts
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.serving import ServingEngine, make_serving_policy, make_trace  # noqa: E402
+from repro.sim.rng import DeterministicRng  # noqa: E402
+
+BASELINE = ROOT / "BENCH_serving.json"
+
+SEED = 7
+REQUESTS = 8000
+SLO_S = 0.010
+SWEEP = [
+    ("flash-crowd", {}),
+    ("diurnal", {"peak_to_trough": 6.0, "periods": 2.0}),
+]
+POLICIES = ("static-x86", "static-arm", "queue-reactive", "latency-aware")
+
+
+def run_sweep():
+    """Run every (shape, policy) cell; return (facts, throughput)."""
+    facts = {}
+    wall = 0.0
+    simulated_requests = 0
+    for shape, kwargs in SWEEP:
+        trace = make_trace(
+            shape, DeterministicRng(SEED), requests=REQUESTS, **kwargs
+        )
+        for policy in POLICIES:
+            engine = ServingEngine(
+                make_serving_policy(policy), trace, slo_s=SLO_S
+            )
+            start = time.perf_counter()
+            result = engine.run()
+            wall += time.perf_counter() - start
+            simulated_requests += result.requests_completed
+            facts[f"{shape}/{policy}"] = {
+                "trace_checksum": trace.checksum(),
+                "requests": result.requests,
+                "completed": result.requests_completed,
+                "p50_us": round(result.p50_latency_s * 1e6, 3),
+                "p99_us": round(result.p99_latency_s * 1e6, 3),
+                "p999_us": round(result.p999_latency_s * 1e6, 3),
+                "slo_violations": result.slo_violations,
+                "slo_violation_seconds": round(
+                    result.slo_violation_seconds, 6
+                ),
+                "handoffs": result.migrations,
+                "migration_stall_ms": round(
+                    result.migration_stall_seconds * 1e3, 6
+                ),
+                "energy_joules": round(result.total_energy, 3),
+            }
+    throughput = {
+        "wall_seconds": round(wall, 3),
+        "simulated_requests": simulated_requests,
+        "requests_per_wall_second": round(simulated_requests / wall),
+    }
+    return facts, throughput
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="compare deterministic facts against the "
+                        "committed baseline instead of rewriting it")
+    args = parser.parse_args(argv)
+
+    facts, throughput = run_sweep()
+    document = {
+        "benchmark": "serving policy sweep",
+        "config": {
+            "seed": SEED,
+            "requests": REQUESTS,
+            "slo_ms": SLO_S * 1e3,
+            "shapes": [shape for shape, _ in SWEEP],
+            "policies": list(POLICIES),
+        },
+        "facts": facts,
+        "throughput": throughput,
+    }
+
+    if args.check:
+        if not BASELINE.exists():
+            print(f"error: {BASELINE.name} missing; run without --check",
+                  file=sys.stderr)
+            return 2
+        committed = json.loads(BASELINE.read_text())
+        drift = []
+        for cell, values in facts.items():
+            old = committed.get("facts", {}).get(cell)
+            if old != values:
+                drift.append(f"{cell}: {old} -> {values}")
+        if drift:
+            print("serving baseline drift:")
+            for line in drift:
+                print(f"  {line}")
+            return 1
+        print(f"{BASELINE.name}: {len(facts)} cells match "
+              f"({throughput['requests_per_wall_second']} req/s wall)")
+        return 0
+
+    BASELINE.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {BASELINE.name}: {len(facts)} cells, "
+          f"{throughput['requests_per_wall_second']} req/s wall")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
