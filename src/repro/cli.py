@@ -62,6 +62,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="machine the process starts on")
     run.add_argument("--migrate-at", type=int, default=None, metavar="N",
                      help="migrate the whole process at the Nth migration point")
+    run.add_argument("--engine", default=None, choices=("exact", "fast"),
+                     help="execution engine: 'exact' steps every "
+                     "instruction, 'fast' fast-forwards compiled regions "
+                     "with bit-identical results (default: REPRO_ENGINE "
+                     "or 'exact')")
 
     trace = sub.add_parser(
         "trace", help="run a workload with span tracing on and export "
@@ -233,7 +238,7 @@ def _machine_name(short: str) -> str:
 
 def cmd_run(args) -> int:
     from repro.kernel import boot_testbed
-    from repro.runtime.execution import EngineHooks, ExecutionEngine
+    from repro.runtime.execution import EngineHooks, make_engine
     from repro.telemetry import PowerRecorder
     from repro.workloads import build_workload
 
@@ -265,7 +270,8 @@ def cmd_run(args) -> int:
         f"  tid {thread.tid}: {outcome.src_machine} -> {outcome.dst_machine} "
         f"(transform {outcome.transform_seconds * 1e6:.0f} us)"
     )
-    engine = ExecutionEngine(system, process, hooks, sampler=recorder.sampler)
+    engine = make_engine(system, process, hooks, sampler=recorder.sampler,
+                         engine=args.engine)
     engine.run()
     recorder.finish()
 
@@ -273,6 +279,8 @@ def cmd_run(args) -> int:
     table.add_row("exit code", process.exit_code)
     table.add_row("output", " ".join(f"{v:.0f}" for v in process.output))
     table.add_row("simulated time (s)", f"{system.clock.now:.4f}")
+    table.add_row("engine", "fast" if type(engine).__name__.startswith("Fast")
+                  else "exact")
     table.add_row("migrations", engine.migration.migrations)
     table.add_row("DSM pages moved", process.dsm.stats.page_transfers)
     for name in system.machine_order:

@@ -102,6 +102,11 @@ class DsmService:
         # Monotonic epoch: bumped on every residency change; lets the
         # engine cache "this whole range is local" checks.
         self.epoch = 0
+        # Kernels party to the most recent charged coherence operation
+        # (requester, owners that served a copy, invalidated sharers,
+        # backup targets).  The engine scopes interconnect-busy (IO
+        # power) accounting to exactly these machines.
+        self.last_parties: Tuple[str, ...] = ()
         # ---- crash recovery (all empty/off on the fault-free path) ----
         # Machine ring: determines where backup copies go.
         self.machines = list(machines) if machines else []
@@ -140,6 +145,7 @@ class DsmService:
         page = page_of(addr)
         if self.lost_pages and page in self.lost_pages:
             raise LostPageError(page, kernel, self.lost_pages[page])
+        self.last_parties = (kernel,)
         if self.is_local(kernel, page, write):
             return self._note_first_touch(kernel, page, write)
         return self._fault(kernel, page, write)
@@ -176,6 +182,9 @@ class DsmService:
         self._backup_of[page] = target
         self.stats.backup_pushes += 1
         self.stats.backup_bytes += PAGE_SIZE
+        self.last_parties = tuple(
+            sorted(set(self.last_parties) | {owner, target})
+        )
         return self.messaging.send("dsm.backup", owner, target, PAGE_SIZE)
 
     def _fault(self, kernel: str, page: int, write: bool) -> float:
@@ -202,6 +211,12 @@ class DsmService:
         # shares (S->M upgrade, or the owner with stale sharers) costs
         # invalidation traffic only — no page transfer, no self-RPC.
         transferred = kernel not in sharers
+        parties = {kernel}
+        if transferred:
+            parties.add(owner)
+        if write:
+            parties.update(k for k in sharers if k != kernel)
+        self.last_parties = tuple(sorted(parties))
         if transferred:
             cost += self.messaging.rpc(
                 "dsm.page", kernel, owner, request_bytes=32,
@@ -259,11 +274,40 @@ class DsmService:
             for lost_page, dead in self.lost_pages.items():
                 if first <= lost_page <= last:
                     raise LostPageError(lost_page, kernel, dead)
-        missing = [
-            p
-            for p in range(first, last + 1)
-            if not self.is_local(kernel, p, write)
-        ]
+        # Classify every page in one scan instead of calling
+        # ``is_local``/``_note_first_touch`` per page — bulk pulls span
+        # hundreds of thousands of pages and the two calls per page are
+        # the hottest loop in the whole simulator.  The classification
+        # reads exactly what ``is_local`` reads, so ``missing`` is the
+        # same list the per-page path would produce.
+        aliased = self._aliased
+        valid = self._valid
+        owner_get = self._owner.get
+        missing = []
+        fresh = []
+        dirtied_local = []
+        if write:
+            own_copy = {kernel}
+            for p in range(first, last + 1):
+                if p in aliased:
+                    continue
+                o = owner_get(p)
+                if o is None:
+                    fresh.append(p)
+                elif o == kernel and valid.get(p) == own_copy:
+                    dirtied_local.append(p)
+                else:
+                    missing.append(p)
+        else:
+            dirtied_local = ()
+            for p in range(first, last + 1):
+                if p in aliased:
+                    continue
+                o = owner_get(p)
+                if o is None:
+                    fresh.append(p)
+                elif kernel not in valid.get(p, ()):
+                    missing.append(p)
         if self.messaging.chaos is not None:
             owners = sorted({self._owner[p] for p in missing})
             if self.messaging.chaos_step(
@@ -277,10 +321,29 @@ class DsmService:
                     raise KernelCrashed(kernel)
                 return self.ensure_range(kernel, base, span, write)
         cost = 0.0
-        for p in range(first, last + 1):
-            cost += self._note_first_touch(kernel, p, write)
+        self.last_parties = (kernel,)
+        if self.backup:
+            # Backup replication charges per-page costs; keep the
+            # exact per-page path for this opt-in ablation mode.
+            for p in range(first, last + 1):
+                cost += self._note_first_touch(kernel, p, write)
+        else:
+            # Inlined ``_note_first_touch`` over the classified pages:
+            # the same ownership/validity/dirtiness writes, batched.
+            # Every skipped call returned exactly 0.0, so ``cost`` is
+            # bit-identical.
+            owner = self._owner
+            for p in fresh:
+                owner[p] = kernel
+                valid[p] = {kernel}
+            if write:
+                dirtied = self._dirtied
+                dirtied.update(fresh)
+                dirtied.update(dirtied_local)
+                dirtied.update(missing)
         if not missing:
             return (cost, 0)
+        parties = set(self.last_parties)
         transfers = 0
         backups = 0
         inval_groups = set()
@@ -290,6 +353,7 @@ class DsmService:
         inval_before = self.stats.invalidations
         for page in missing:
             owner = self._owner[page]
+            parties.add(owner)
             sharers = self._valid.setdefault(page, {owner})
             # Same accounting as a sequence of single faults: a page the
             # kernel already shares (write upgrade) moves no payload.
@@ -304,12 +368,14 @@ class DsmService:
                     # range-invalidate broadcast per distinct sharer
                     # group, not one message per page.
                     inval_groups.add(frozenset(others))
+                    parties.update(others)
                     self.stats.invalidations += len(others)
                 self._valid[page] = {kernel}
                 self._owner[page] = kernel
                 self._dirtied.add(page)
                 if backup_target is not None:
                     self._backup_of[page] = backup_target
+                    parties.add(backup_target)
                     backups += 1
             else:
                 sharers.add(kernel)
@@ -317,6 +383,7 @@ class DsmService:
             cost += self.messaging.broadcast(
                 "dsm.inval", kernel, sorted(group), payload_bytes=32
             )
+        self.last_parties = tuple(sorted(parties))
         # One logical fault per missing page — the bulk path is cheaper
         # than N single faults only in *time* (one round trip of latency
         # amortised over a pipelined burst), never in *accounting*.

@@ -79,6 +79,19 @@ class Machine:
     def io_active(self) -> bool:
         return self.clock.now < self._io_busy_until
 
+    # ------------------------------------------------------- accounting
+
+    def charge_execution(self, instret: float, seconds: float) -> None:
+        """Commit one engine slice's retired work in a single batch.
+
+        Both the exact interpreter and the fast-forward engine charge
+        lifetime counters only here, once per slice, so the two engines
+        update machine state at the same commit points with the same
+        floating-point additions.
+        """
+        self.instructions_retired += instret
+        self.busy_core_seconds += seconds
+
     # ------------------------------------------------------------ power
 
     @property

@@ -14,6 +14,7 @@ When a machine has more runnable threads than cores, compute time is
 stretched by the oversubscription factor.
 """
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
@@ -219,17 +220,28 @@ class ExecutionEngine:
         return cost
 
     def _mark_io(self, thread: Thread, duration: float) -> None:
-        for machine in self.system.machines.values():
-            machine.note_io_activity(duration)
+        """Note DSM wire activity on the machines of the transfer path.
+
+        Only the machines that actually took part in the last DSM
+        operation (requester, page owner, invalidated sharers, backup
+        home — reported by ``dsm.last_parties``) see their interconnect
+        busy; marking every machine in the system would inflate the
+        idle-power IO component of uninvolved servers.
+        """
+        machines = self.system.machines
+        parties = self.process.dsm.last_parties or (thread.machine_name,)
+        for name in parties:
+            machine = machines.get(name)
+            if machine is not None:
+                machine.note_io_activity(duration)
 
     # ------------------------------------------------------------ slice
 
-    def _run_slice(self, thread: Thread) -> None:
+    def _slice_preamble(self, thread: Thread):
+        """Per-slice setup shared by every engine: tracer context and
+        completion of the blocking syscall the thread woke from.
+        Returns the machine the slice runs on."""
         system = self.system
-        process = self.process
-        space = process.space
-        mem = space._mem  # hot path: direct store access
-
         tracer = system.messaging.tracer
         if tracer is not None:
             # Ambient identity for every span emitted from this slice
@@ -245,7 +257,32 @@ class ExecutionEngine:
         if pending is not None:
             self._complete_blocking_syscall(thread, pending)
 
-        machine = system.machines[thread.machine_name]
+        return system.machines[thread.machine_name]
+
+    def _run_slice(self, thread: Thread) -> None:
+        machine = self._slice_preamble(thread)
+        self._interp_slice(thread, machine, self.batch, 0.0, 0.0, 0.0)
+
+    def _interp_slice(
+        self,
+        thread: Thread,
+        machine,
+        budget: int,
+        cycles: float,
+        instret: float,
+        extra: float,
+    ) -> None:
+        """Interpret up to ``budget`` instructions, one at a time.
+
+        ``cycles``/``instret``/``extra`` seed the slice accumulators so
+        the fast engine can hand over a partially executed slice (its
+        trampoline stops at the first region it cannot run in closed
+        form and this loop finishes the slice exactly).
+        """
+        system = self.system
+        process = self.process
+        space = process.space
+        mem = space._mem  # hot path: direct store access
         cpu = machine.cpu
         regs = thread.regs
         frame = thread.frames[-1]
@@ -254,11 +291,6 @@ class ExecutionEngine:
         block, idx = thread.pc
         instrs = mf.fn.blocks[block].instrs
         cycles_tab = self._cycles(mf, cpu)[block]
-
-        cycles = 0.0
-        instret = 0.0
-        extra = 0.0
-        budget = self.batch
 
         dsm = process.dsm
         cache = self._cache_for(thread.tid, dsm.epoch)
@@ -408,15 +440,9 @@ class ExecutionEngine:
                 result = self.syscalls.handle(thread, instr.name, args)
                 extra += result.seconds
                 if result.wake:
-                    # Barrier release: everyone leaves at the latest
-                    # arrival time, including the releasing thread.
-                    wake_at = max(
-                        [thread.vtime]
-                        + [process.threads[t].vtime for t in result.wake]
+                    cycles, instret, extra = self._release_wakes(
+                        thread, machine, result, cycles, instret, extra
                     )
-                    thread.vtime = wake_at
-                    for woken_tid in result.wake:
-                        self._wake(process.threads[woken_tid], wake_at, 0)
                 if result.action == "exit_process":
                     thread.pc = (block, idx)
                     self._commit(thread, machine, cycles, instret, extra)
@@ -446,7 +472,13 @@ class ExecutionEngine:
             raise ExecutionError(str(exc)) from None
 
     def _commit(
-        self, thread: Thread, machine, cycles: float, instret: float, extra: float
+        self,
+        thread: Thread,
+        machine,
+        cycles: float,
+        instret: float,
+        extra: float,
+        count_step: bool = True,
     ) -> None:
         contention = max(
             1.0, machine.running_threads / machine.cpu.cores
@@ -454,9 +486,42 @@ class ExecutionEngine:
         seconds = (cycles / machine.cpu.freq_hz) * contention + extra
         thread.vtime += seconds
         thread.instructions += instret
-        machine.instructions_retired += instret
-        machine.busy_core_seconds += seconds
-        self.steps += 1
+        machine.charge_execution(instret, seconds)
+        if count_step:
+            self.steps += 1
+
+    def _release_wakes(
+        self,
+        thread: Thread,
+        machine,
+        result,
+        cycles: float,
+        instret: float,
+        extra: float,
+    ) -> Tuple[float, float, float]:
+        """Wake the threads released by a syscall (barrier, unlock, ...).
+
+        The slice's accrued time is committed *first*: ``wake_at`` must
+        be computed from the releasing thread's true arrival time,
+        which includes the cycles and DSM service time accrued earlier
+        in this very slice.  (Before this commit existed, barrier
+        waiters could leave earlier than the thread that released
+        them.)  The commit also happens before the woken threads bump
+        the machine's run queue, so the pre-wake work is charged at
+        pre-wake contention.  Returns the zeroed slice accumulators.
+        """
+        process = self.process
+        self._commit(thread, machine, cycles, instret, extra, count_step=False)
+        # Barrier release: everyone leaves at the latest arrival time,
+        # including the releasing thread.
+        wake_at = max(
+            [thread.vtime]
+            + [process.threads[t].vtime for t in result.wake]
+        )
+        thread.vtime = wake_at
+        for woken_tid in result.wake:
+            self._wake(process.threads[woken_tid], wake_at, 0)
+        return 0.0, 0.0, 0.0
 
     def _locations(self, mf) -> Dict[str, tuple]:
         cached = getattr(mf, "_loc_cache", None)
@@ -590,11 +655,28 @@ class ExecutionEngine:
 
     # ------------------------------------------------- thread lifecycle
 
+    def _evict_thread_caches(self, tid: int, flow: bool = True) -> None:
+        """Drop per-thread engine caches for a finished/failed thread.
+
+        Long serving runs execute many short-lived threads through one
+        engine; without eviction ``_page_cache``/``_range_cache`` (and
+        the migration flow map) grow monotonically with every thread
+        that ever ran.
+        """
+        self._page_cache.pop(tid, None)
+        if self._range_cache:
+            stale = [key for key in self._range_cache if key[0] == tid]
+            for key in stale:
+                del self._range_cache[key]
+        if flow:
+            self._mig_flow.pop(tid, None)
+
     def _thread_finished(self, thread: Thread, value) -> None:
         thread.exit_value = value
         kernel = self.system.kernels[thread.machine_name]
         kernel.release_thread(thread)
         thread.state = ThreadState.DONE
+        self._evict_thread_caches(thread.tid)
         main_tid = min(self.process.threads)
         if thread.tid == main_tid and self.process.exit_code is None:
             self.process.exit_code = int(value)
@@ -633,7 +715,7 @@ class ExecutionEngine:
         """A crash (or a lost page) killed this thread mid-slice."""
         if thread.state != ThreadState.DONE:
             self.system.fail_thread(thread, str(exc))
-        self._page_cache.pop(thread.tid, None)
+        self._evict_thread_caches(thread.tid)
 
     # -------------------------------------------------------- migration
 
@@ -642,7 +724,49 @@ class ExecutionEngine:
         thread.vtime += outcome.total_seconds
         if outcome.span is not None:
             self._mig_flow[thread.tid] = outcome.span.span_id
-        # Residency caches are stale on the new machine.
-        self._page_cache.pop(thread.tid, None)
+        # Residency caches are stale on the new machine (the range
+        # cache's machine-name check would catch it, but the dead
+        # entries would pin memory until the thread exits).
+        self._evict_thread_caches(thread.tid, flow=False)
         if self.hooks.on_migration is not None:
             self.hooks.on_migration(thread, outcome)
+
+
+# ------------------------------------------------------------- factory
+
+ENGINE_KINDS = ("exact", "fast")
+
+
+def default_engine_kind() -> str:
+    """The engine selected by ``REPRO_ENGINE`` (default: ``exact``)."""
+    kind = os.environ.get("REPRO_ENGINE", "exact").strip().lower() or "exact"
+    if kind not in ENGINE_KINDS:
+        raise ValueError(
+            f"REPRO_ENGINE={kind!r} unknown; choose one of {ENGINE_KINDS}"
+        )
+    return kind
+
+
+def make_engine(
+    system,
+    process: Process,
+    hooks: Optional[EngineHooks] = None,
+    sampler=None,
+    batch: int = 256,
+    engine: Optional[str] = None,
+) -> ExecutionEngine:
+    """Build an execution engine: ``engine="exact"`` steps instruction
+    by instruction, ``engine="fast"`` fast-forwards compiled regions
+    (:mod:`repro.runtime.fastforward`) with bit-identical results.
+    ``engine=None`` defers to the ``REPRO_ENGINE`` environment variable.
+    """
+    kind = engine if engine is not None else default_engine_kind()
+    if kind == "exact":
+        return ExecutionEngine(system, process, hooks, sampler=sampler, batch=batch)
+    if kind == "fast":
+        from repro.runtime.fastforward import FastExecutionEngine
+
+        return FastExecutionEngine(
+            system, process, hooks, sampler=sampler, batch=batch
+        )
+    raise ValueError(f"unknown engine kind {kind!r}; choose one of {ENGINE_KINDS}")

@@ -1,0 +1,374 @@
+"""Fast-forward engine tests: fast/exact equivalence over the workload
+registry (fault-free and under seeded message faults), the
+``REPRO_VALIDATE=1`` cross-validator, and the three hot-path accounting
+fixes that landed with the fast path (barrier wake vtime, per-thread
+cache eviction, IO scoping to the DSM transfer path).
+"""
+
+import pytest
+
+from repro.compiler import Toolchain
+from repro.faults.inject import FaultyMessagingLayer, RetryPolicy
+from repro.ir import FunctionBuilder, Module
+from repro.ir.summary import block_summaries, invalidate_summaries
+from repro.isa.types import ValueType as VT
+from repro.kernel import PopcornSystem, boot_testbed
+from repro.machine.interconnect import make_dolphin_pxh810
+from repro.machine.machine import make_xeon_e5_1650v2, make_xgene1
+from repro.runtime.execution import EngineHooks, make_engine
+from repro.runtime.fastforward import FastForwardDivergence
+from repro.sim.clock import Clock
+from repro.sim.rng import DeterministicRng
+from repro.workloads import build_workload, workload_names
+from repro.workloads.golden import (
+    GOLDEN_CHECKSUMS,
+    GOLDEN_CLASS,
+    GOLDEN_SCALE,
+    golden_key,
+)
+
+from tests.helpers import (
+    ARM,
+    X86,
+    call_chain_module,
+    simple_sum_module,
+    stack_pointer_module,
+)
+
+
+def _facts(system, process, engine):
+    """Every observable a run produces, in one comparable tuple.
+
+    Output, exit code, per-thread virtual time / instruction counts,
+    per-machine lifetime counters and clocks, DSM statistics and the
+    engine's slice count: if the fast engine is bit-identical to the
+    interpreter, all of these match exactly — no tolerances.
+    """
+    return (
+        tuple(process.output),
+        process.exit_code,
+        tuple(
+            sorted(
+                (t.tid, t.vtime, t.instructions)
+                for t in process.threads.values()
+            )
+        ),
+        tuple(
+            (m.name, m.instructions_retired, m.busy_core_seconds, m.clock.now)
+            for m in system.machines.values()
+        ),
+        repr(process.dsm.stats),
+        engine.steps,
+    )
+
+
+def _run(module, kind, start=X86, migrate_at=None, fault_seed=None):
+    """Build + run ``module`` on a fresh testbed with the given engine."""
+    binary = Toolchain().build(module)
+    system = boot_testbed()
+    if fault_seed is not None:
+        system.messaging = FaultyMessagingLayer(
+            system.messaging,
+            DeterministicRng(fault_seed),
+            loss_probability=0.25,
+            retry=RetryPolicy(max_retries=8),
+        )
+    process = system.exec_process(binary, start)
+    hooks = EngineHooks()
+    hits = [0]
+
+    def on_point(thread, fn, point_id, instrs):
+        hits[0] += 1
+        if migrate_at is not None and hits[0] == migrate_at:
+            others = [
+                m for m in system.machine_order if m != thread.machine_name
+            ]
+            system.request_migration(process, others[0])
+
+    hooks.on_migration_point = on_point
+    engine = make_engine(system, process, hooks, engine=kind)
+    engine.run()
+    return _facts(system, process, engine), system, process, engine
+
+
+# --------------------------------------------- fast == exact, fault-free
+
+
+class TestFastMatchesExact:
+    @pytest.mark.parametrize("threads", [1, 4])
+    @pytest.mark.parametrize("bench", sorted(workload_names()))
+    def test_registry_facts_and_goldens(self, bench, threads):
+        module = build_workload(bench, GOLDEN_CLASS, threads, GOLDEN_SCALE)
+        exact, _, process, _ = _run(module, "exact")
+        fast, _, _, _ = _run(module, "fast")
+        assert fast == exact
+        assert process.exit_code == 0
+        key = golden_key(bench, threads)
+        if key in GOLDEN_CHECKSUMS:
+            assert int(process.output[0]) == GOLDEN_CHECKSUMS[key]
+
+    @pytest.mark.parametrize("start", [X86, ARM])
+    @pytest.mark.parametrize(
+        "module_factory", [call_chain_module, stack_pointer_module]
+    )
+    def test_migration_equivalence(self, module_factory, start):
+        exact, _, _, _ = _run(module_factory(), "exact", start, migrate_at=1)
+        fast, _, _, _ = _run(module_factory(), "fast", start, migrate_at=1)
+        assert fast == exact
+
+    def test_validating_mode_matches(self, monkeypatch):
+        module = build_workload("ep", GOLDEN_CLASS, 2, GOLDEN_SCALE)
+        exact, _, _, _ = _run(module, "exact")
+        monkeypatch.setenv("REPRO_VALIDATE", "1")
+        fast, _, _, _ = _run(module, "fast")
+        assert fast == exact
+
+
+# ------------------------------------------ fast == exact, under faults
+
+
+class TestFaultEquivalence:
+    """Equivalence must survive fault injection: a seeded lossy
+    messaging layer perturbs every DSM cost (retries, backoff), and the
+    fast engine has to track the perturbed schedule exactly."""
+
+    @pytest.mark.parametrize("bench", ["is", "cg", "mg"])
+    def test_fast_matches_exact_under_seeded_faults(self, bench):
+        # The late migration forces the DSM to pull the already-touched
+        # working set over the (lossy) wire; without it every access is
+        # a local first touch and nothing can be dropped.
+        module = build_workload(bench, GOLDEN_CLASS, 4, GOLDEN_SCALE)
+        exact, system_e, _, _ = _run(
+            module, "exact", migrate_at=8, fault_seed=1234
+        )
+        fast, system_f, _, _ = _run(
+            module, "fast", migrate_at=8, fault_seed=1234
+        )
+        assert fast == exact
+        # The injection has to have actually bitten for this test to
+        # mean anything.
+        assert system_e.messaging.dropped > 0
+        assert system_f.messaging.dropped == system_e.messaging.dropped
+
+    def test_seed_changes_the_run(self):
+        module = build_workload("ep", GOLDEN_CLASS, 4, GOLDEN_SCALE)
+        one, _, _, _ = _run(module, "fast", migrate_at=8, fault_seed=1)
+        two, _, _, _ = _run(module, "fast", migrate_at=8, fault_seed=2)
+        # Checksums agree (semantics are fault-transparent) ...
+        assert one[0] == two[0]
+        # ... but the timing facts differ, so the equality above is
+        # not vacuous.
+        assert one != two
+
+
+# ------------------------------------------------- cross-validation
+
+
+class TestCrossValidation:
+    def test_corrupted_summary_raises_divergence(self, monkeypatch):
+        """REPRO_VALIDATE=1 must catch a block summary whose constants
+        no longer match the IR the interpreter executes."""
+        module = simple_sum_module()
+        binary = Toolchain().build(module)
+        mf = binary.machine_function("x86_64", "accum")
+        invalidate_summaries(mf)
+        summaries = block_summaries(mf)
+        corrupted = False
+        for summary in summaries.values():
+            for counts in summary.counts:
+                for cls, n in counts.items():
+                    counts[cls] = n + 3.0
+                    corrupted = True
+                    break
+                if corrupted:
+                    break
+            if corrupted:
+                break
+        assert corrupted, "no instruction counts to corrupt"
+
+        monkeypatch.setenv("REPRO_VALIDATE", "1")
+        system = boot_testbed()
+        process = system.exec_process(binary, X86)
+        engine = make_engine(system, process, engine="fast")
+        with pytest.raises(FastForwardDivergence):
+            engine.run()
+
+    def test_corruption_unnoticed_without_validation(self, monkeypatch):
+        """Sanity check on the test above: without the validator the
+        corrupted constants silently skew the accounting, which is
+        exactly why the lock-step mode exists.  (Validation is forced
+        off so the test also holds under the CI job that exports
+        REPRO_VALIDATE=1 globally.)"""
+        monkeypatch.setenv("REPRO_VALIDATE", "0")
+        module = simple_sum_module()
+        clean, _, _, _ = _run(module, "fast")
+
+        binary = Toolchain().build(module)
+        mf = binary.machine_function("x86_64", "accum")
+        invalidate_summaries(mf)
+        summaries = block_summaries(mf)
+        entry = mf.fn.entry
+        target = next(
+            c for c in summaries[entry].counts if c
+        )
+        cls = next(iter(target))
+        target[cls] = target[cls] + 3.0
+
+        system = boot_testbed()
+        process = system.exec_process(binary, X86)
+        engine = make_engine(system, process, engine="fast")
+        engine.run()
+        assert _facts(system, process, engine) != clean
+
+
+# -------------------------------------------- S1: barrier wake vtime
+
+
+def _barrier_skew_module(big_work: int = 4_000_000_000) -> Module:
+    """Three barrier parties: main arrives instantly, one worker after
+    a tiny burst, the last after a huge burst *in the same slice as its
+    barrier_wait*.  Pre-fix, the releaser's uncommitted slice time was
+    missing from ``wake_at``, so the early arrivers left the barrier
+    almost immediately instead of at the releaser's true arrival.
+    """
+    m = Module("barrier-skew")
+
+    quick = m.function("quick", [("idx", VT.I64)], VT.I64)
+    fb = FunctionBuilder(quick)
+    fb.work(1_000_000, "int_alu")
+    fb.syscall("barrier_wait", [7], VT.I64)
+    fb.ret(0)
+
+    slow = m.function("slow", [("idx", VT.I64)], VT.I64)
+    fb = FunctionBuilder(slow)
+    fb.work(big_work, "int_alu")
+    fb.syscall("barrier_wait", [7], VT.I64)
+    fb.ret(0)
+
+    main = m.function("main", [], VT.I64)
+    fb = FunctionBuilder(main)
+    fb.syscall("barrier_init", [7, 3])
+    t1 = fb.syscall("spawn", [fb.addr_of("quick"), 0], VT.I64)
+    t2 = fb.syscall("spawn", [fb.addr_of("slow"), 1], VT.I64)
+    fb.syscall("barrier_wait", [7], VT.I64)
+    fb.syscall("join", [t1], VT.I64)
+    fb.syscall("join", [t2], VT.I64)
+    fb.syscall("print", [1])
+    fb.ret(0)
+    m.entry = "main"
+    return m
+
+
+class TestBarrierWakeVtime:
+    @pytest.mark.parametrize("kind", ["exact", "fast"])
+    def test_waiters_leave_no_earlier_than_releaser(self, kind):
+        _, _, process, _ = _run(_barrier_skew_module(), kind)
+        assert process.exit_code == 0
+        vtimes = {t.tid: t.vtime for t in process.threads.values()}
+        release_at = max(vtimes.values())
+        # All three parties leave the barrier at the releaser's true
+        # arrival time and finish within microseconds of each other.
+        # With the stale-vtime bug the releaser's final (uncommitted)
+        # slice — which holds the tail of its big burst — was missing
+        # from ``wake_at``, and the early arrivers finished ~9% of the
+        # run earlier than the thread that woke them.
+        for tid, vtime in vtimes.items():
+            assert vtime >= (1.0 - 1e-4) * release_at, (
+                f"tid {tid} left the barrier at {vtime:.6f}s, before the "
+                f"releasing thread's arrival at {release_at:.6f}s"
+            )
+
+    def test_engines_agree_on_barrier_wakes(self):
+        exact, _, _, _ = _run(_barrier_skew_module(), "exact")
+        fast, _, _, _ = _run(_barrier_skew_module(), "fast")
+        assert fast == exact
+
+
+# ---------------------------------------- S2: per-thread cache leak
+
+
+class TestThreadCacheEviction:
+    @pytest.mark.parametrize("kind", ["exact", "fast"])
+    def test_caches_empty_after_run(self, kind):
+        """Every thread of a multi-thread workload touches DSM pages
+        and Work ranges; once all threads are done the engine must not
+        retain a single per-thread cache entry (PR 6's serving loop
+        runs thousands of threads through one engine)."""
+        module = build_workload("ft", GOLDEN_CLASS, 4, GOLDEN_SCALE)
+        _, _, process, engine = _run(module, kind)
+        assert process.exit_code == 0
+        assert len(process.threads) > 1  # the workload really spawned
+        assert engine._page_cache == {}
+        assert engine._range_cache == {}
+
+    def test_caches_are_used_while_running(self):
+        """Guard against the eviction test passing vacuously because
+        the caches were never populated: a mid-run probe must see
+        entries for live threads."""
+        module = build_workload("ft", GOLDEN_CLASS, 2, GOLDEN_SCALE)
+        binary = Toolchain().build(module)
+        system = boot_testbed()
+        process = system.exec_process(binary, X86)
+        seen = {"pages": 0, "ranges": 0}
+        hooks = EngineHooks()
+        engine = make_engine(system, process, hooks, engine="exact")
+
+        def on_point(thread, fn, point_id, instrs):
+            seen["pages"] = max(seen["pages"], len(engine._page_cache))
+            seen["ranges"] = max(seen["ranges"], len(engine._range_cache))
+
+        hooks.on_migration_point = on_point
+        engine.run()
+        assert seen["pages"] > 0
+        assert engine._page_cache == {}
+        assert engine._range_cache == {}
+
+
+# ------------------------------------------------ S3: IO path scoping
+
+
+class TestMarkIoScoping:
+    def _three_machine_system(self):
+        clock = Clock()
+        machines = [
+            make_xeon_e5_1650v2("x86-1", clock),
+            make_xeon_e5_1650v2("x86-2", clock),
+            make_xgene1("arm-bystander", clock),
+        ]
+        return PopcornSystem(machines, make_dolphin_pxh810(), clock)
+
+    @pytest.mark.parametrize("kind", ["exact", "fast"])
+    def test_bystander_sees_no_io(self, kind):
+        """Move one worker of a shared-memory workload to x86-2 so the
+        DSM ping-pongs pages between x86-1 and x86-2 for the rest of
+        the run; the third machine takes no part in any transfer and
+        must never be marked IO-busy — the old global ``_mark_io``
+        inflated the idle-power IO component of every server in the
+        system on every remote page fault."""
+        system = self._three_machine_system()
+        module = build_workload("is", GOLDEN_CLASS, 4, GOLDEN_SCALE)
+        binary = Toolchain().build(module)
+        process = system.exec_process(binary, "x86-1")
+        hooks = EngineHooks()
+        moved = [False]
+
+        def on_point(thread, fn, point_id, instrs):
+            if not moved[0] and thread.tid != min(process.threads):
+                moved[0] = True
+                system.request_thread_migration(thread, "x86-2")
+
+        hooks.on_migration_point = on_point
+        engine = make_engine(system, process, hooks, engine=kind)
+        engine.run()
+        assert process.exit_code == 0
+        assert moved[0]
+        # The split placement really did ping-pong pages on the wire.
+        assert process.dsm.stats.page_transfers > 0
+        assert process.dsm.stats.invalidations > 0
+        machines = system.machines
+        # The transfer endpoints saw wire activity ...
+        assert machines["x86-1"]._io_busy_until > 0.0
+        assert machines["x86-2"]._io_busy_until > 0.0
+        # ... the bystander saw none, so its power trace stays idle.
+        assert machines["arm-bystander"]._io_busy_until == 0.0
+        assert not machines["arm-bystander"].io_active()

@@ -1,0 +1,195 @@
+#!/usr/bin/env python
+"""Interpreter fast-forward baseline: run the registry suite under both
+engines, measure the dispatch-bound speedup, write ``BENCH_interp.json``.
+
+The baseline has two kinds of fields:
+
+* **deterministic run facts** — per-workload output checksums, exit
+  codes, slice counts, simulated clocks and DSM transfer counts, all
+  produced twice (exact interpreter and fast-forward engine) and
+  required to be identical before anything is written.  ``--check``
+  diffs them against the committed baseline and exits non-zero on
+  drift (a silent behaviour change in the IR, the compiler, either
+  engine, or a workload).
+* **wall-clock timings** — exact vs fast wall seconds on the registry
+  suite and on the dispatch-bound stress kernel
+  (:mod:`repro.workloads.interp_stress`), median of three.  The
+  registry suite is DSM-bound at golden scale, so its ratio mostly
+  reflects shared memory-system cost; the stress kernel isolates
+  per-instruction dispatch, which is the cost the fast engine removes,
+  and its speedup is the headline number.  ``--check`` enforces
+  ``SPEEDUP_FLOOR`` on the stress-kernel ratio — generous against CI
+  noise; the committed baseline records the measured value.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_interp.py            # rewrite baseline
+    PYTHONPATH=src python tools/bench_interp.py --check    # CI: diff facts
+"""
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.compiler import Toolchain  # noqa: E402
+from repro.kernel import boot_testbed  # noqa: E402
+from repro.runtime.execution import make_engine  # noqa: E402
+from repro.workloads import build_workload, workload_names  # noqa: E402
+from repro.workloads.golden import GOLDEN_CLASS, GOLDEN_SCALE  # noqa: E402
+from repro.workloads.interp_stress import (  # noqa: E402
+    interp_stress_module,
+)
+
+BASELINE = ROOT / "BENCH_interp.json"
+
+THREADS = (1, 4)
+STRESS_ITERATIONS = 300_000
+STRESS_REPEATS = 3
+# Floor enforced by CI on the stress-kernel speedup.  Deliberately far
+# below the measured value so shared-runner noise cannot trip it while
+# a real regression (fast path degrading to stepping) still does.
+SPEEDUP_FLOOR = 3.0
+
+
+def _run(module, kind):
+    """Build + run ``module`` with engine ``kind``; return (facts, wall)."""
+    binary = Toolchain().build(module)
+    system = boot_testbed()
+    process = system.exec_process(binary, "x86-server")
+    engine = make_engine(system, process, engine=kind)
+    start = time.perf_counter()
+    engine.run()
+    wall = time.perf_counter() - start
+    facts = {
+        "output": [repr(v) for v in process.output],
+        "exit_code": process.exit_code,
+        "slices": engine.steps,
+        "sim_seconds": repr(system.clock.now),
+        "dsm_page_transfers": process.dsm.stats.page_transfers,
+    }
+    return facts, wall
+
+
+def run_registry():
+    """Every registry workload under both engines; facts must agree."""
+    facts = {}
+    wall = {"exact": 0.0, "fast": 0.0}
+    for bench in sorted(workload_names()):
+        for threads in THREADS:
+            cell = f"{bench}/t{threads}"
+            module = build_workload(bench, GOLDEN_CLASS, threads, GOLDEN_SCALE)
+            exact, we = _run(module, "exact")
+            module = build_workload(bench, GOLDEN_CLASS, threads, GOLDEN_SCALE)
+            fast, wf = _run(module, "fast")
+            if exact != fast:
+                print(f"error: {cell}: engines disagree\n"
+                      f"  exact: {exact}\n  fast:  {fast}", file=sys.stderr)
+                raise SystemExit(3)
+            wall["exact"] += we
+            wall["fast"] += wf
+            facts[cell] = exact
+    return facts, wall
+
+
+def run_stress():
+    """Dispatch-bound kernel, median-of-N wall time per engine."""
+    exact_walls, fast_walls = [], []
+    reference = None
+    for _ in range(STRESS_REPEATS):
+        facts, wall = _run(interp_stress_module(STRESS_ITERATIONS), "exact")
+        exact_walls.append(wall)
+        if reference is None:
+            reference = facts
+        elif facts != reference:
+            print("error: stress kernel is nondeterministic", file=sys.stderr)
+            raise SystemExit(3)
+    for _ in range(STRESS_REPEATS):
+        facts, wall = _run(interp_stress_module(STRESS_ITERATIONS), "fast")
+        fast_walls.append(wall)
+        if facts != reference:
+            print("error: stress kernel: engines disagree\n"
+                  f"  exact: {reference}\n  fast:  {facts}", file=sys.stderr)
+            raise SystemExit(3)
+    exact_wall = statistics.median(exact_walls)
+    fast_wall = statistics.median(fast_walls)
+    return reference, {
+        "exact_wall_seconds": round(exact_wall, 3),
+        "fast_wall_seconds": round(fast_wall, 3),
+        "speedup": round(exact_wall / fast_wall, 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="compare deterministic facts against the "
+                        "committed baseline instead of rewriting it, and "
+                        "enforce the stress-kernel speedup floor")
+    args = parser.parse_args(argv)
+
+    registry_facts, registry_wall = run_registry()
+    stress_facts, stress_timing = run_stress()
+    document = {
+        "benchmark": "interpreter fast-forward",
+        "config": {
+            "workload_class": GOLDEN_CLASS,
+            "scale": GOLDEN_SCALE,
+            "threads": list(THREADS),
+            "stress_iterations": STRESS_ITERATIONS,
+            "stress_repeats": STRESS_REPEATS,
+            "speedup_floor": SPEEDUP_FLOOR,
+        },
+        "facts": {"registry": registry_facts, "stress": stress_facts},
+        "timing": {
+            "registry_exact_wall_seconds": round(registry_wall["exact"], 3),
+            "registry_fast_wall_seconds": round(registry_wall["fast"], 3),
+            "stress": stress_timing,
+        },
+    }
+
+    speedup = stress_timing["speedup"]
+    if args.check:
+        if not BASELINE.exists():
+            print(f"error: {BASELINE.name} missing; run without --check",
+                  file=sys.stderr)
+            return 2
+        committed = json.loads(BASELINE.read_text())
+        drift = []
+        committed_registry = committed.get("facts", {}).get("registry", {})
+        for cell, values in registry_facts.items():
+            if committed_registry.get(cell) != values:
+                drift.append(
+                    f"{cell}: {committed_registry.get(cell)} -> {values}"
+                )
+        if committed.get("facts", {}).get("stress") != stress_facts:
+            drift.append(
+                f"stress: {committed.get('facts', {}).get('stress')} "
+                f"-> {stress_facts}"
+            )
+        if drift:
+            print("interpreter baseline drift:")
+            for line in drift:
+                print(f"  {line}")
+            return 1
+        if speedup < SPEEDUP_FLOOR:
+            print(f"error: fast-forward speedup {speedup}x below the "
+                  f"{SPEEDUP_FLOOR}x floor", file=sys.stderr)
+            return 1
+        print(f"{BASELINE.name}: {len(registry_facts)} registry cells + "
+              f"stress kernel match ({speedup}x dispatch speedup)")
+        return 0
+
+    BASELINE.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {BASELINE.name}: {len(registry_facts)} registry cells, "
+          f"stress speedup {speedup}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
