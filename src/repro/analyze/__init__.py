@@ -20,9 +20,20 @@ workload in the registry:
 * **escape** — stack addresses that flow where the pointer fix-up
   cannot follow;
 * **ir** — :mod:`repro.ir.validate` problems surfaced as ``MIG001``
-  diagnostics, all at once.
+  diagnostics, all at once;
+* **races** — conflicting access pairs with no common lock and no
+  static happens-before edge (``RACE001``), with the TSO-safe but
+  ARM-unsafe store→flag publication idiom split out at warning
+  severity (``RACE002``);
+* **locks** — cycles in the static lock-acquisition order
+  (``RACE050``) and mutexes held across blocking operations
+  (``RACE051``);
+* **sharing** — DSM page-sharing predictions per region
+  (``SHR001``-``SHR003``), cross-validated dynamically by
+  :mod:`repro.validate.race_checker`.
 
-Diagnostics carry stable ``MIG0xx`` codes (reference: ``docs/lint.md``)
+Diagnostics carry stable ``MIG0xx``/``RACE0xx``/``SHR0xx`` codes
+(reference: ``docs/lint.md``)
 with error/warning/info severities, render as text or JSON, and can be
 suppressed through a checked-in baseline file.  Opt into fail-on-error
 linting at link time with ``Toolchain(lint=True)``, or run
@@ -44,10 +55,13 @@ from repro.analyze.driver import (
     pass_names,
     run_lint,
 )
+from repro.analyze.concurrency import ConcurrencyModel, get_model
 from repro.analyze.report import render_json, render_text, report_to_dict
+from repro.analyze.sharing import RegionPrediction, predict_sharing
 
 __all__ = [
     "Baseline",
+    "ConcurrencyModel",
     "DEFAULT_BASELINE_PATH",
     "DIAGNOSTIC_CODES",
     "Diagnostic",
@@ -56,8 +70,11 @@ __all__ = [
     "LintPass",
     "LINT_PASSES",
     "LintReport",
+    "RegionPrediction",
     "Severity",
+    "get_model",
     "pass_names",
+    "predict_sharing",
     "render_json",
     "render_text",
     "report_to_dict",

@@ -71,6 +71,22 @@ DIAGNOSTIC_CODES: Dict[str, str] = {
               "pointer fix-up cannot track",
     "MIG051": "stack-derived value of non-pointer type live across a "
               "migration site (fix-up blind spot)",
+    "RACE001": "conflicting accesses with no common lock and no "
+               "happens-before edge (racy on any memory model)",
+    "RACE002": "store-then-flag publication without a barrier: "
+               "race-free under x86-TSO, racy under ARM after a "
+               "migration",
+    "RACE050": "cycle in the static lock-acquisition order "
+               "(deadlock risk)",
+    "RACE051": "mutex held across a blocking synchronisation "
+               "operation (barrier_wait/join/cond_wait)",
+    "SHR001": "region is concurrently write-shared: its DSM pages "
+              "ping-pong between kernels",
+    "SHR002": "region is shared but all conflicting accesses are "
+              "happens-before ordered (pages migrate, never "
+              "concurrently)",
+    "SHR003": "thread partition stride below the DSM page size "
+              "(predicted false sharing)",
 }
 
 
@@ -171,10 +187,10 @@ class LintReport:
         self.diagnostics = keep
 
     def summary(self) -> str:
+        from repro.render import counter_digest
+
         sev = self.counts_by_severity()
-        passes = ", ".join(
-            f"{name}:{count}" for name, count in sorted(self.pass_checks.items())
-        )
+        passes = counter_digest(self.pass_checks, empty="")
         head = (
             f"{len(self.diagnostics)} diagnostics "
             f"({sev['error']} errors, {sev['warning']} warnings, "

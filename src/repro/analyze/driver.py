@@ -19,6 +19,9 @@ from repro.analyze.binary_checks import (
 )
 from repro.analyze.diagnostics import LintReport
 from repro.analyze.ir_checks import run_ir_validity, run_stack_escape
+from repro.analyze.locks import run_locks
+from repro.analyze.races import run_races
+from repro.analyze.sharing import run_sharing
 from repro.compiler.migration_points import DEFAULT_TARGET_GAP
 
 
@@ -47,6 +50,12 @@ LINT_PASSES: List[LintPass] = [
              description="IR structural validity (MIG001)"),
     LintPass("escape", run_stack_escape, needs_binary=False,
              description="stack-pointer escape (MIG050/MIG051)"),
+    LintPass("races", run_races, needs_binary=False,
+             description="static data races (RACE001/RACE002)"),
+    LintPass("locks", run_locks, needs_binary=False,
+             description="lock order / blocking (RACE050/RACE051)"),
+    LintPass("sharing", run_sharing, needs_binary=False,
+             description="DSM page-sharing prediction (SHR001-SHR003)"),
     LintPass("stackmap", run_stackmap_soundness,
              description="stackmap liveness soundness (MIG010-MIG015)"),
     LintPass("unwind", run_unwind_consistency,

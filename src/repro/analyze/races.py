@@ -1,0 +1,147 @@
+"""Static data-race lint (RACE001/RACE002).
+
+Consumes the shared :mod:`repro.analyze.concurrency` model: every
+conflicting access pair the model could not prove ordered, lock
+protected, identity-partitioned or page-granular is a race finding.
+The severity split is the paper's cross-ISA hazard: an unordered
+store→flag publication is race-free under x86-TSO (stores retire in
+order) but racy under ARM's weaker model, so it only *becomes* a bug
+after a migration — RACE002 (warning), versus the
+racy-on-any-memory-model RACE001 (error).
+"""
+
+from typing import List, Tuple
+
+from repro.analyze.concurrency import Access, Conflict, get_model
+from repro.analyze.diagnostics import Severity
+
+PASS_NAME = "races"
+
+
+def _publication_idiom(model, conflict: Conflict) -> Tuple[bool, str]:
+    """Does this racy pair belong to a store-then-flag publication?
+
+    Two shapes are matched, both confined to the writer's and reader's
+    own functions (the idiom is local in every real codebase we mined):
+
+    - *data side*: the writer later stores to a distinct flag region,
+      and the reader spins (loads in a CFG cycle) on that flag before
+      reading the data;
+    - *flag side*: the writer's store is itself the flag — an earlier
+      store to a distinct data region precedes it, and the reader's
+      spin load is followed by a load of that data region.
+
+    Under x86-TSO the flag store cannot pass the data store and the
+    idiom is race-free; under ARM both sides need barriers.
+    """
+    for w, r in ((conflict.a, conflict.b), (conflict.b, conflict.a)):
+        if not w.write or r.kind != "load":
+            continue
+        # Data side: a later flag store in w.fn, a spinning flag load
+        # in r.fn that can flow into r.
+        for s in model.accesses:
+            if (
+                s.kind != "store"
+                or s.role != w.role
+                or s.fn != w.fn
+                or conflict.region in s.regions
+                or not model.site_reaches(
+                    w.fn, (w.block, w.index), (s.block, s.index)
+                )
+            ):
+                continue
+            for l in model.accesses:
+                if (
+                    l.kind == "load"
+                    and l.role == r.role
+                    and l.fn == r.fn
+                    and l.in_cycle
+                    and (s.regions & l.regions)
+                    and model.site_reaches(
+                        r.fn, (l.block, l.index), (r.block, r.index)
+                    )
+                ):
+                    flag = sorted(s.regions & l.regions)[0]
+                    return True, str(flag)
+        # Flag side: w is the flag store (an earlier data store exists),
+        # r is the spin load (a later data load exists).
+        if r.in_cycle:
+            for s in model.accesses:
+                if (
+                    s.kind != "store"
+                    or s.role != w.role
+                    or s.fn != w.fn
+                    or conflict.region in s.regions
+                    or not model.site_reaches(
+                        w.fn, (s.block, s.index), (w.block, w.index)
+                    )
+                ):
+                    continue
+                for l in model.accesses:
+                    if (
+                        l.kind == "load"
+                        and l.role == r.role
+                        and l.fn == r.fn
+                        and (s.regions & l.regions)
+                        and model.site_reaches(
+                            r.fn, (r.block, r.index), (l.block, l.index)
+                        )
+                    ):
+                        data = sorted(s.regions & l.regions)[0]
+                        return True, str(data)
+    return False, ""
+
+
+def _orient(a: Access, b: Access) -> Tuple[Access, Access]:
+    """Writer first; deterministic tie-break for stable fingerprints."""
+    pair = sorted((a, b), key=lambda x: (not x.write, x.fn, x.ordinal, x.role))
+    return pair[0], pair[1]
+
+
+def run_races(ctx, report) -> None:
+    """Emit RACE001/RACE002 for unprotected conflicting access pairs."""
+    model = get_model(ctx.module)
+    conflicts = model.conflicts()
+    report.note_checks(PASS_NAME, max(len(conflicts), 1))
+
+    seen = set()
+    racy: List[Conflict] = [
+        c for c in conflicts
+        if c.status == "racy" and c.a.kind != "work" and c.b.kind != "work"
+    ]
+    for conflict in racy:
+        w, other = _orient(conflict.a, conflict.b)
+        key = (conflict.region, w.fn, w.ordinal, other.fn, other.ordinal)
+        if key in seen:
+            continue
+        seen.add(key)
+        is_pub, via = _publication_idiom(model, conflict)
+        where = (
+            f"{w.kind} at {w.site} [{w.role}] vs "
+            f"{other.kind} at {other.site} [{other.role}]"
+        )
+        if is_pub:
+            report.emit(
+                "RACE002",
+                Severity.WARNING,
+                f"TSO-only publication of {conflict.region}: {where} is "
+                f"ordered only by the store→flag idiom (via {via}); "
+                "race-free under x86-TSO but racy under ARM's weaker "
+                "memory model once a thread migrates — needs a barrier "
+                "or mutex",
+                pass_name=PASS_NAME,
+                function=w.fn,
+                site=w.ordinal,
+                symbol=str(conflict.region),
+            )
+        else:
+            report.emit(
+                "RACE001",
+                Severity.ERROR,
+                f"data race on {conflict.region}: {where} — "
+                f"{conflict.reason}, racy on any memory model",
+                pass_name=PASS_NAME,
+                function=w.fn,
+                site=w.ordinal,
+                symbol=str(conflict.region),
+            )

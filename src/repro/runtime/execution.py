@@ -96,6 +96,10 @@ class ExecutionEngine:
         self._pause_requested = False
         self.paused = False
         self.steps = 0
+        # Optional dynamic-sharing observer (repro.validate.race_checker).
+        # Notified only on DSM miss paths, so attaching one perturbs
+        # neither timing nor the per-thread residency caches.
+        self.sharing_observer = None
 
     def request_pause(self) -> None:
         """Stop at the next slice boundary (a CRIU-style freeze point).
@@ -211,6 +215,8 @@ class ExecutionEngine:
         if page in valid:
             return 0.0
         cost = dsm.access(thread.machine_name, addr, write)
+        if self.sharing_observer is not None:
+            self.sharing_observer.note_access(thread.tid, page, write, cost)
         cache = self._cache_for(thread.tid, dsm.epoch)
         cache[1].add(page)
         if write:
@@ -562,6 +568,10 @@ class ExecutionEngine:
         cost, _pages = dsm.ensure_range(
             thread.machine_name, base, instr.span, write=True
         )
+        if self.sharing_observer is not None:
+            self.sharing_observer.note_range(
+                thread.tid, base, instr.span, cost, _pages
+            )
         self._range_cache[key] = (dsm.epoch, base, thread.machine_name)
         if cost:
             self._mark_io(thread, cost)

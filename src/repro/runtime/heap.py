@@ -38,6 +38,15 @@ class HeapAllocator:
     def allocated_bytes(self) -> int:
         return sum(self._allocated.values())
 
+    def allocations(self) -> Dict[int, int]:
+        """Live allocations as ``{start_address: size}`` (a copy).
+
+        The race-soundness harness uses this to map faulting heap pages
+        back to the allocation (and from there to the IR symbol whose
+        published pointer global holds the address).
+        """
+        return dict(self._allocated)
+
     def alloc(self, size: int) -> int:
         if size <= 0:
             raise ValueError(f"allocation of {size} bytes")

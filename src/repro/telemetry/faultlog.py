@@ -15,6 +15,8 @@ for every other output.
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.render import timeline_line
+
 
 @dataclass(frozen=True)
 class FaultLogEntry:
@@ -30,9 +32,7 @@ class FaultLogEntry:
 
     def format(self) -> str:
         """One aligned human-readable timeline line."""
-        where = f" {self.node}" if self.node else ""
-        tail = f": {self.detail}" if self.detail else ""
-        return f"t={self.time:10.3f}s  {self.kind:<17}{where}{tail}"
+        return timeline_line(self.time, self.kind, self.node, self.detail)
 
 
 class FaultLog:

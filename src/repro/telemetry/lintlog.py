@@ -11,6 +11,8 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from repro.render import counter_digest
+
 
 @dataclass
 class LintRunRecord:
@@ -57,17 +59,25 @@ class LintLog:
         """Total error-severity diagnostics across all reports."""
         return sum(r.errors for r in self.records)
 
+    def counts_by_family(self) -> Dict[str, int]:
+        """Diagnostic counts rolled up by code family (MIG/RACE/SHR).
+
+        The family is the code's alphabetic prefix — the level the CLI
+        summaries report at, next to the per-code digest.
+        """
+        families: Counter = Counter()
+        for code, count in self.by_code.items():
+            families[code.rstrip("0123456789")] += count
+        return dict(families)
+
     def summary(self) -> str:
         """One-line per-pass / per-code digest for the run report."""
-        passes = ", ".join(
-            f"{name}:{count}" for name, count in sorted(self.pass_checks.items())
-        )
-        codes = ", ".join(
-            f"{code}:{count}" for code, count in sorted(self.by_code.items())
-        )
+        families = counter_digest(self.counts_by_family())
         return (
             f"{len(self.records)} lint(s), {self.total_checks()} checks "
-            f"({passes or 'none'}); diagnostics: {codes or 'none'}"
+            f"({counter_digest(self.pass_checks)}); "
+            f"diagnostics: {families} "
+            f"({counter_digest(self.by_code)})"
         )
 
 

@@ -50,12 +50,11 @@ class ValidationLog:
 
     def summary(self) -> str:
         """One-line check/violation digest for the run report."""
-        parts = [
-            f"{name}:{count}" for name, count in sorted(self.checks.items())
-        ]
-        body = ", ".join(parts) if parts else "none"
+        from repro.render import counter_digest
+
         return (
-            f"{self.total_checks()} invariant checks ({body}), "
+            f"{self.total_checks()} invariant checks "
+            f"({counter_digest(self.checks)}), "
             f"{len(self.violations)} violations"
         )
 

@@ -20,6 +20,7 @@ comparison it asserts the structural MSI invariants directly:
   DSM traffic can never be double-charged or silently dropped.
 """
 
+from collections import Counter
 from typing import Dict, Optional, Set
 
 from repro.kernel.dsm import DsmService, DsmStats
@@ -49,6 +50,10 @@ class ShadowDsm:
         self.backup_of: Dict[int, str] = {}
         self.dead: Set[str] = set()
         self.lost: Dict[int, str] = {}
+        # page -> coherence faults served on it; the race-soundness
+        # harness rank-correlates this observed traffic against the
+        # static sharing predictions (SHR0xx scores).
+        self.page_faults: Counter = Counter()
 
     def _push_backup(self, owner: str, page: int) -> None:
         if not self.backup or owner not in self.machines:
@@ -87,6 +92,7 @@ class ShadowDsm:
     def _serve_fault(self, kernel: str, page: int, write: bool) -> bool:
         """Apply one coherence fault; returns True if a payload moved."""
         self.stats.faults += 1
+        self.page_faults[page] += 1
         sharers = self.valid[page]
         transferred = kernel not in sharers
         if transferred:

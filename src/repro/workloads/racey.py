@@ -1,0 +1,123 @@
+"""Seeded adversarial workloads for the concurrency analyzer.
+
+Two deliberately buggy kernels, each the minimal real-world shape of a
+hazard class the RACE passes must catch:
+
+- :func:`racey_counter_module` — the textbook unlocked shared counter:
+  every worker read-modify-writes one global with no mutex and no
+  barrier.  Racy on *any* memory model → ``RACE001`` (error).
+
+- :func:`racey_publish_module` — store-then-flag publication: a
+  producer writes a payload, then raises a flag; a consumer spins on
+  the flag, then reads the payload.  Under x86-TSO the store order
+  makes this race-free; under ARM's weaker model the flag may become
+  visible before the payload, so the idiom breaks exactly when a
+  thread migrates → ``RACE002`` (warning), the analyzer's
+  TSO-safe/ARM-unsafe severity split.
+
+Both modules are *runnable* (they complete and exit 0 under the
+simulator's deterministic scheduler — a data race is a property of the
+memory model, not of any particular interleaving), which is what lets
+the soundness harness in :mod:`repro.validate.race_checker` observe
+their shared pages dynamically and check the static findings cover
+them.
+
+Like ``interp_stress``, they are intentionally NOT in the workload
+REGISTRY: they compute nothing from the paper and must not show up in
+``repro list``, the golden-checksum table, or the datacenter job mix —
+the registry corpus stays race-free by construction.
+"""
+
+from repro.ir import FunctionBuilder, GlobalVar, Module
+from repro.isa.types import ValueType as VT
+
+from repro.workloads.base import build_parallel_scaffold
+
+DEFAULT_THREADS = 4
+DEFAULT_INCREMENTS = 64
+PAYLOAD = 424242
+
+
+def racey_counter_module(
+    threads: int = DEFAULT_THREADS, increments: int = DEFAULT_INCREMENTS
+) -> Module:
+    """Unlocked shared counter: a genuine RACE001 data race."""
+    m = Module("racey-counter")
+    m.add_global(GlobalVar("g_counter", VT.I64, count=1))
+
+    def worker_body(fb: FunctionBuilder, idx: str) -> None:
+        counter = fb.addr_of("g_counter")
+        with fb.for_range("i", 0, increments):
+            # Unlocked read-modify-write: the lost-update window.
+            cur = fb.load(counter, 0, VT.I64)
+            nxt = fb.binop("add", cur, 1, VT.I64)
+            fb.store(counter, 0, nxt, VT.I64)
+
+    def setup(fb: FunctionBuilder) -> None:
+        counter = fb.addr_of("g_counter")
+        fb.store(counter, 0, 0, VT.I64)
+
+    def verify(fb: FunctionBuilder) -> str:
+        # Any interleaving leaves at least `increments` increments (one
+        # thread's worth always survives), so the module still exits 0.
+        counter = fb.addr_of("g_counter")
+        total = fb.load(counter, 0, VT.I64)
+        return fb.binop("ge", total, increments, VT.I64)
+
+    build_parallel_scaffold(m, threads, worker_body, setup, verify)
+    return m
+
+
+def racey_publish_module() -> Module:
+    """Store-then-flag publication without a barrier: RACE002.
+
+    One producer, one consumer, no loop of workers — the two-thread
+    shape keeps the finding pair-precise: the analyzer must flag both
+    the payload pair and the flag pair at warning severity and emit no
+    RACE001 (each pair *is* ordered under TSO).
+    """
+    m = Module("racey-publish")
+    m.add_global(GlobalVar("g_data", VT.I64, count=1))
+    m.add_global(GlobalVar("g_flag", VT.I64, count=1))
+    m.add_global(GlobalVar("g_result", VT.I64, count=1))
+
+    producer = m.function("producer", [("idx", VT.I64)], VT.I64)
+    fb = FunctionBuilder(producer)
+    data = fb.addr_of("g_data")
+    fb.store(data, 0, PAYLOAD, VT.I64)
+    flag = fb.addr_of("g_flag")
+    fb.store(flag, 0, 1, VT.I64)  # publish: no barrier between stores
+    fb.ret(0)
+
+    consumer = m.function("consumer", [("idx", VT.I64)], VT.I64)
+    fb = FunctionBuilder(consumer)
+    flag = fb.addr_of("g_flag")
+
+    def not_published() -> str:
+        seen = fb.load(flag, 0, VT.I64)
+        return fb.binop("eq", seen, 0, VT.I64)
+
+    with fb.while_loop(not_published):
+        pass  # spin until the producer raises the flag
+    data = fb.addr_of("g_data")
+    payload = fb.load(data, 0, VT.I64)
+    result = fb.addr_of("g_result")
+    fb.store(result, 0, payload, VT.I64)
+    fb.ret(0)
+
+    main = m.function("main", [], VT.I64)
+    fb = FunctionBuilder(main)
+    paddr = fb.addr_of("producer")
+    caddr = fb.addr_of("consumer")
+    t1 = fb.syscall("spawn", [paddr, 0], VT.I64)
+    t2 = fb.syscall("spawn", [caddr, 1], VT.I64)
+    fb.syscall("join", [t1], VT.I64)
+    fb.syscall("join", [t2], VT.I64)
+    result = fb.addr_of("g_result")
+    got = fb.load(result, 0, VT.I64)
+    ok = fb.binop("eq", got, PAYLOAD, VT.I64)
+    fb.syscall("print", [ok])
+    failed = fb.binop("eq", ok, 0, VT.I64)
+    fb.ret(failed)
+    m.entry = "main"
+    return m

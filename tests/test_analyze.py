@@ -273,11 +273,11 @@ class TestReporting:
         doc = Path(__file__).resolve().parent.parent / "docs" / "lint.md"
         text = doc.read_text()
         for code, summary in DIAGNOSTIC_CODES.items():
-            assert code.startswith("MIG") and summary
+            assert code.startswith(("MIG", "RACE", "SHR")) and summary
             assert f"## {code}" in text, f"{code} missing from docs/lint.md"
         import re
 
-        for code in re.findall(r"MIG\d{3}", text):
+        for code in re.findall(r"(?:MIG|RACE|SHR)\d{3}", text):
             assert code in DIAGNOSTIC_CODES, (
                 f"docs/lint.md mentions unregistered code {code}"
             )

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Race-soundness gate: static RACE/SHR findings vs dynamic MSI sharing.
+
+For each requested workload this runs the program to completion with a
+:class:`~repro.validate.race_checker.SharingObserver` attached to the
+execution engine and ``REPRO_VALIDATE`` forced on (so the DSM is the
+lock-step-checked :class:`ValidatedDsmService` and the MSI shadow model
+is live), then checks the concurrency analyzer's two empirical claims:
+
+* every page the run observed as shared read-write (>= 2 threads,
+  >= 1 writer) is covered by a static ``RACE0xx`` finding or ``SHR0xx``
+  prediction — a miss means the static passes over-suppressed and the
+  "registry corpus is race-free" result is unsound;
+* the predicted region hotness scores rank-correlate (Spearman,
+  tie-averaged) with the shadow model's observed per-page coherence
+  faults, at least ``--min-rho`` when enough regions exist to rank.
+
+Exits non-zero on any violation.  CI runs this on two workloads after
+the three static passes sweep the whole registry (see the ``races``
+job in ``.github/workflows/ci.yml``).
+
+Usage::
+
+    PYTHONPATH=src python tools/check_race_soundness.py --workloads is,ep
+"""
+
+import argparse
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro import validate  # noqa: E402
+from repro.validate.race_checker import check_workload  # noqa: E402
+from repro.workloads import workload_names  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workloads", default="is,ep",
+        help="comma-separated registry names, or 'all' (default: is,ep)",
+    )
+    parser.add_argument("--cls", default="A", help="problem class (default A)")
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--scale", type=float, default=0.02)
+    parser.add_argument(
+        "--engine", default="exact", choices=("exact", "fast"),
+        help="execution engine for the dynamic run (default exact)",
+    )
+    parser.add_argument(
+        "--min-rho", type=float, default=0.3,
+        help="minimum Spearman rho when rankable (default 0.3)",
+    )
+    args = parser.parse_args()
+
+    names = (
+        workload_names()
+        if args.workloads == "all"
+        else [n for n in args.workloads.split(",") if n]
+    )
+    unknown = sorted(set(names) - set(workload_names()))
+    if unknown:
+        parser.error(f"unknown workloads {unknown}; have {workload_names()}")
+
+    # The whole point is cross-validating against the MSI shadow model:
+    # force the validated DSM on regardless of the environment.
+    validate.set_enabled(True)
+
+    failures = 0
+    for name in names:
+        report = check_workload(
+            name,
+            cls=args.cls,
+            threads=args.threads,
+            scale=args.scale,
+            engine=args.engine,
+        )
+        ok = report.ok(min_rho=args.min_rho)
+        print(("PASS " if ok else "FAIL ") + report.summary())
+        if not ok:
+            failures += 1
+            for miss in report.uncovered[:10]:
+                print(f"      uncovered page {miss['page']:#x} "
+                      f"({miss['kind']}, tids {miss['tids']}, "
+                      f"regions {miss['regions']})")
+            if report.rho is not None and report.rho < args.min_rho:
+                print(f"      rho {report.rho:+.2f} < --min-rho "
+                      f"{args.min_rho:+.2f}")
+    if failures:
+        print(f"{failures}/{len(names)} workload(s) failed the "
+              "race-soundness gate")
+        return 1
+    print(f"all {len(names)} workload(s) sound")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
