@@ -188,6 +188,35 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--out", default=None, metavar="PATH",
                        help="also export the span trace (Perfetto-loadable "
                        "trace-event JSON)")
+    serve.add_argument("--faults", action="store_true",
+                       help="inject a node crash mid-run (shape it with "
+                       "--crash/--crash-at/--repair-after/--permanent); "
+                       "the service fails over to the surviving machine")
+    serve.add_argument("--crash", default="arm", choices=("x86", "arm"),
+                       help="which node dies (default: arm — the "
+                       "latency-aware policy's home)")
+    serve.add_argument("--crash-at", type=float, default=None, metavar="T",
+                       help="crash time in seconds (default: 40%% of the "
+                       "trace horizon)")
+    serve.add_argument("--repair-after", type=float, default=None,
+                       metavar="T", help="repair delay in seconds "
+                       "(default: 30%% of the trace horizon)")
+    serve.add_argument("--permanent", action="store_true",
+                       help="the crashed node never comes back")
+    serve.add_argument("--detector", action="store_true",
+                       help="detect the crash with the heartbeat/lease "
+                       "failure detector (measured MTTD, false "
+                       "suspicions/confirms in the report) instead of "
+                       "omniscient instant failover")
+    serve.add_argument("--heartbeat", type=float, default=0.5, metavar="S",
+                       help="detector heartbeat period in seconds")
+    serve.add_argument("--lease", type=float, default=1.5, metavar="S",
+                       help="suspicion-to-confirm lease in seconds")
+    serve.add_argument("--resilient", action="store_true",
+                       help="attach the resilience layer: request "
+                       "deadlines, crash replays under a retry budget, "
+                       "tail-latency hedging, circuit breakers, and "
+                       "priority-class load shedding (docs/serving.md)")
 
     chaos = sub.add_parser(
         "chaos", help="deterministic crash-point enumeration over the "
@@ -203,6 +232,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--dsm-backup", action="store_true",
                        help="enable dirty-page backup-home replication "
                        "(the recovery ablation)")
+    chaos.add_argument("--serving", action="store_true",
+                       help="enumerate the serving-plane crash points "
+                       "instead (admit/enqueue/serve/complete and every "
+                       "hand-off phase, request-conservation audited)")
     chaos.add_argument("--soak", type=int, default=0, metavar="N",
                        help="additionally run N seeded random crash "
                        "injections per workload")
@@ -644,8 +677,11 @@ def cmd_serve(args) -> int:
     from repro.serving import (
         DEFAULT_SLO_S,
         ServingEngine,
+        default_resilience,
         make_serving_policy,
         make_trace,
+        render_detector_rows,
+        render_resilience_rows,
         slo_report,
         render_slo_rows,
     )
@@ -666,9 +702,37 @@ def cmd_serve(args) -> int:
     )
     slo_s = DEFAULT_SLO_S if args.slo_ms is None else args.slo_ms / 1e3
     tracer = Tracer()
+    faults = None
+    detector = None
+    if args.faults:
+        from repro.faults import FaultSchedule, NodeCrash
+
+        crash_at = (
+            args.crash_at if args.crash_at is not None else 0.4 * args.horizon
+        )
+        repair = (
+            args.repair_after
+            if args.repair_after is not None
+            else 0.3 * args.horizon
+        )
+        faults = FaultSchedule([
+            NodeCrash(
+                time=crash_at, node=_machine_name(args.crash),
+                permanent=args.permanent, repair_seconds=repair,
+            )
+        ])
+    if args.detector:
+        from repro.faults import DetectorConfig, FailureDetector
+
+        detector = FailureDetector(DetectorConfig(
+            heartbeat_period_s=args.heartbeat, lease_s=args.lease,
+        ))
     engine = ServingEngine(
         make_serving_policy(args.policy), trace,
         workload=args.workload, cls=args.cls, slo_s=slo_s, tracer=tracer,
+        faults=faults, detector=detector,
+        resilience=default_resilience(slo_s) if args.resilient else None,
+        rng=DeterministicRng(args.seed),
     )
     result = engine.run()
     report = slo_report(
@@ -691,6 +755,12 @@ def cmd_serve(args) -> int:
     table.add_row("migration stall seconds",
                   f"{result.migration_stall_seconds:.6f}")
     table.add_row("deferrals", engine.deferrals)
+    if args.faults or args.detector or args.resilient:
+        for metric, value in render_resilience_rows(result):
+            table.add_row(metric, value)
+    if args.detector:
+        for metric, value in render_detector_rows(result):
+            table.add_row(metric, value)
     for name, joules in sorted(result.energy_by_machine.items()):
         table.add_row(f"{name} energy (J)", f"{joules:.2f}")
     table.add_row("total energy (J)", f"{result.total_energy:.2f}")
@@ -716,6 +786,21 @@ def cmd_serve(args) -> int:
 
 def cmd_chaos(args) -> int:
     from repro.faults import registry_scenario, run_chaos_suite
+
+    if args.serving:
+        from repro.faults import run_serving_chaos_suite, serving_scenarios
+
+        reports = run_serving_chaos_suite(
+            serving_scenarios(), soak_iterations=args.soak, seed=args.seed
+        )
+        violations = 0
+        for report in reports:
+            print(report.render(verbose=args.verbose))
+            violations += len(report.violations)
+        total = sum(len(r.cases) for r in reports)
+        print(f"serving chaos total: {total} armed runs, "
+              f"{violations} violations")
+        return 1 if violations else 0
 
     names = [n.strip() for n in args.workloads.split(",") if n.strip()]
     if not names:

@@ -52,6 +52,20 @@ class RunResult:
     slo_violations: int = 0  # requests finishing above the target
     slo_violation_seconds: float = 0.0  # summed latency excess over target
     migration_stall_seconds: float = 0.0  # request wait attributed to hand-offs
+    # ---- serving resilience (repro.serving.resilience) ----
+    # Fault-tolerant serving outcomes; all-zero (and attainment 0.0)
+    # on fault-free runs without resilience gates, so pre-resilience
+    # results compare equal.
+    requests_shed: int = 0  # rejected at admission (rate/queue gates)
+    requests_failed: int = 0  # failed loudly (deadline or retries exhausted)
+    requests_retried: int = 0  # distinct requests replayed after a crash
+    requests_hedged: int = 0  # requests raced on the other machine
+    retry_attempts: int = 0  # total crash-killed replays
+    failovers: int = 0  # service relocations forced by node death
+    breaker_opens: int = 0  # circuit-breaker open transitions
+    goodput_rps: float = 0.0  # completed-in-SLO requests per second
+    slo_attainment: float = 0.0  # completed-in-SLO / offered
+    false_confirms: int = 0  # live nodes fenced by the detector
 
     @property
     def total_energy(self) -> float:

@@ -20,8 +20,12 @@ from repro.faults.chaos import (
     ChaosScenario,
     CrashInjector,
     ProtocolSite,
+    ServingChaosHarness,
+    ServingChaosScenario,
     registry_scenario,
     run_chaos_suite,
+    run_serving_chaos_suite,
+    serving_scenarios,
 )
 from repro.faults.detector import (
     DetectorConfig,
@@ -89,6 +93,10 @@ __all__ = [
     "ChaosScenario",
     "CrashInjector",
     "ProtocolSite",
+    "ServingChaosHarness",
+    "ServingChaosScenario",
     "registry_scenario",
     "run_chaos_suite",
+    "run_serving_chaos_suite",
+    "serving_scenarios",
 ]

@@ -375,3 +375,229 @@ def run_chaos_suite(
             report.cases.extend(soaked.cases)
         reports.append(report)
     return reports
+
+
+# --------------------------------------------------------------------------
+# Serving-plane chaos: the same experiment over the open-loop engine.
+#
+# The serving engine announces its crashable protocol steps
+# (serve.admit / serve.enqueue / serve.serve / serve.complete, and the
+# hand-off phases serve.handoff.prepare/transfer/publish/commit) through
+# the same ``at_step`` hook, and exposes ``inject_crash`` so an armed
+# injector can kill either machine the instant a step announces itself.
+# The oracle "output" of a serving run is the set of request ids that
+# completed: an armed run COMPLETES if the same ids complete with
+# nothing shed or failed, FAILS LOUD if the losses are accounted (the
+# engine's request-conservation audit runs force-enabled, so admitted ==
+# completed + shed + failed-loudly or the run is a VIOLATION), and
+# anything else — a silently missing id, a conservation breach, a crash
+# point that never fired — is a VIOLATION.
+#
+# Serving imports stay inside the functions: ``repro.serving`` imports
+# this package for the retry machinery, so importing it at module top
+# would be a cycle.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServingChaosScenario:
+    """One (traffic shape, policy) serving run to enumerate crashes over."""
+
+    name: str
+    shape: str = "flash-crowd"
+    policy: str = "queue-reactive"
+    requests: int = 1200
+    horizon_s: float = 3.0
+    seed: int = 7
+    #: Attach the resilience layer (retries/shedding) to armed runs.
+    resilient: bool = False
+
+
+class _EngineCrashTarget:
+    """Adapts a ServingEngine to the CrashInjector's ``crash_kernel``."""
+
+    def __init__(self):
+        self.engine = None
+
+    def crash_kernel(self, victim: str) -> None:
+        self.engine.inject_crash(victim)
+
+
+class ServingChaosHarness:
+    """Enumerates serving crash points for one scenario, classifies each."""
+
+    def __init__(self, scenario: ServingChaosScenario):
+        self.scenario = scenario
+        self._reference = None
+
+    def _build_engine(self):
+        from repro.serving.engine import ServingEngine
+        from repro.serving.policies import make_serving_policy
+        from repro.serving.resilience import default_resilience
+        from repro.serving.traffic import make_trace
+
+        scenario = self.scenario
+        trace = make_trace(
+            scenario.shape,
+            DeterministicRng(scenario.seed),
+            requests=scenario.requests,
+            horizon_s=scenario.horizon_s,
+        )
+        return ServingEngine(
+            make_serving_policy(scenario.policy),
+            trace,
+            resilience=(
+                default_resilience() if scenario.resilient else None
+            ),
+            rng=DeterministicRng(scenario.seed),
+        )
+
+    def _run_once(self, armed: Optional[Tuple[int, str]] = None, chaos=True):
+        """One engine run; returns (engine, injector)."""
+        engine = self._build_engine()
+        injector = None
+        if chaos:
+            target = _EngineCrashTarget()
+            target.engine = engine
+            injector = CrashInjector(target)
+            engine.chaos = injector
+            if armed is not None:
+                injector.arm(*armed)
+        engine.run()
+        return engine, injector
+
+    @staticmethod
+    def _signature(engine) -> Tuple:
+        """The deterministic fingerprint a recording run must reproduce."""
+        return (
+            tuple((r.index, r.finish_s) for r in engine.completed),
+            tuple(r.index for r in engine.shed),
+            tuple((r.index, r.failed_reason) for r in engine.failed),
+        )
+
+    def reference(self) -> Tuple:
+        """Fault-free oracle (no chaos hook attached at all)."""
+        if self._reference is None:
+            engine, _ = self._run_once(chaos=False)
+            self._reference = self._signature(engine)
+        return self._reference
+
+    def record_sites(self) -> List[ProtocolSite]:
+        """Unarmed recording run; asserts it matches the reference."""
+        ref = self.reference()
+        engine, injector = self._run_once()
+        if self._signature(engine) != ref:
+            raise InvariantViolation(
+                "chaos", "recording-run-deterministic",
+                f"unarmed serving chaos run of {self.scenario.name} "
+                f"diverged from the reference (the announcement hook "
+                f"must be inert)",
+                {"reference": ref[1:], "recorded": self._signature(engine)[1:]},
+            )
+        return injector.sites
+
+    def run_case(self, site: ProtocolSite, victim: str) -> ChaosCase:
+        """One armed run: crash ``victim`` at ``site``, classify."""
+        ref_completed_ids = {index for index, _ in self.reference()[0]}
+        forced_before = validate._forced
+        validate.set_enabled(True)
+        try:
+            engine, injector = self._run_once(armed=(site.seq, victim))
+        except InvariantViolation as exc:
+            return ChaosCase(
+                self.scenario.name, site, victim, VIOLATION,
+                f"{exc.invariant}: {exc}",
+            )
+        except Exception as exc:  # noqa: BLE001 — anything loose is a bug
+            return ChaosCase(
+                self.scenario.name, site, victim, VIOLATION,
+                f"unexpected {type(exc).__name__}: {exc}",
+            )
+        finally:
+            validate.set_enabled(forced_before)
+
+        if injector.fired is None:
+            return ChaosCase(
+                self.scenario.name, site, victim, VIOLATION,
+                "armed crash point was never reached (protocol trace "
+                "is not deterministic)",
+            )
+        completed_ids = {r.index for r in engine.completed}
+        lost = sorted(
+            ref_completed_ids
+            - completed_ids
+            - {r.index for r in engine.shed}
+            - {r.index for r in engine.failed}
+        )
+        if lost:
+            # The engine's own audit should have raised; belt and braces.
+            return ChaosCase(
+                self.scenario.name, site, victim, VIOLATION,
+                f"requests silently dropped: {lost[:8]}",
+            )
+        if completed_ids == ref_completed_ids and not engine.shed and not engine.failed:
+            return ChaosCase(self.scenario.name, site, victim, COMPLETED)
+        return ChaosCase(
+            self.scenario.name, site, victim, FAILED_LOUD,
+            f"{len(engine.failed)} failed loudly, {len(engine.shed)} shed "
+            f"(all accounted; {len(completed_ids)} completed)",
+        )
+
+    def enumerate(self) -> ChaosReport:
+        """Exhaustive: one armed run per distinct (crash point, victim)."""
+        sites = self.record_sites()
+        report = ChaosReport(self.scenario.name, sites_announced=len(sites))
+        seen = set()
+        for site in sites:
+            if site.key in seen:
+                continue
+            seen.add(site.key)
+            report.sites_enumerated += 1
+            for victim in site.victims:
+                report.cases.append(self.run_case(site, victim))
+        return report
+
+    def soak(self, iterations: int, seed: int = 1234) -> ChaosReport:
+        """Seeded random (site, victim) picks over the recorded trace."""
+        sites = self.record_sites()
+        report = ChaosReport(self.scenario.name, sites_announced=len(sites))
+        report.sites_enumerated = len({s.key for s in sites})
+        if not sites:
+            return report
+        stream = DeterministicRng(seed).stream(
+            f"chaos.serving.{self.scenario.name}"
+        )
+        for _ in range(iterations):
+            site = sites[stream.randrange(len(sites))]
+            victims = site.victims
+            victim = victims[stream.randrange(len(victims))]
+            report.cases.append(self.run_case(site, victim))
+        return report
+
+
+def serving_scenarios() -> List[ServingChaosScenario]:
+    """The default serving chaos matrix: bare engine and resilient."""
+    return [
+        ServingChaosScenario(name="serve.flash.qr"),
+        ServingChaosScenario(name="serve.flash.qr.res", resilient=True),
+        ServingChaosScenario(
+            name="serve.steady.la", shape="steady", policy="latency-aware"
+        ),
+    ]
+
+
+def run_serving_chaos_suite(
+    scenarios: List[ServingChaosScenario],
+    soak_iterations: int = 0,
+    seed: int = 1234,
+) -> List[ChaosReport]:
+    """Enumerate (and optionally soak) every serving scenario."""
+    reports = []
+    for scenario in scenarios:
+        harness = ServingChaosHarness(scenario)
+        report = harness.enumerate()
+        if soak_iterations > 0:
+            soaked = harness.soak(soak_iterations, seed=seed)
+            report.cases.extend(soaked.cases)
+        reports.append(report)
+    return reports

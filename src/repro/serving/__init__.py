@@ -14,10 +14,23 @@ p50/p99/p999 and violation numbers.  See ``docs/serving.md``.
 """
 
 from repro.serving.engine import (
+    EngineConfig,
     HandoffCosts,
     Request,
     ServingEngine,
     ServingView,
+)
+from repro.serving.resilience import (
+    AdmissionController,
+    CircuitBreaker,
+    PriorityClass,
+    ResilienceConfig,
+    RetryBudget,
+    TokenBucket,
+    default_resilience,
+    next_backoff,
+    render_detector_rows,
+    render_resilience_rows,
 )
 from repro.serving.policies import (
     Decision,
@@ -47,10 +60,21 @@ from repro.serving.traffic import (
 )
 
 __all__ = [
+    "AdmissionController",
     "ArrivalTrace",
+    "CircuitBreaker",
     "DEFAULT_SLO_S",
     "Decision",
+    "EngineConfig",
     "HandoffCosts",
+    "PriorityClass",
+    "ResilienceConfig",
+    "RetryBudget",
+    "TokenBucket",
+    "default_resilience",
+    "next_backoff",
+    "render_detector_rows",
+    "render_resilience_rows",
     "LatencyAwareServing",
     "QueueReactiveServing",
     "Request",

@@ -28,8 +28,30 @@ power — the fleet reclaims or sleeps it), both machines are awake for
 the duration of a hand-off, and the hosting machine draws idle or
 one-core-busy power from its measured model (ARM optionally through
 the McPAT FinFET projection, as in the cluster simulator).
+
+**Failures.**  The engine optionally consumes a
+:class:`~repro.faults.inject.FaultSchedule` (node crashes/repairs,
+link degradation, partitions) and the PR-4 heartbeat/lease
+:class:`~repro.faults.detector.FailureDetector`.  A crash kills the
+node's in-flight work at the crash instant (ground truth); *recovery*
+waits for the detector's CONFIRM verdict (or happens immediately when
+no detector is attached — the omniscient baseline, MTTD 0).  A
+confirmed-dead serving node triggers **failover**: the service is
+restored on a surviving node of the other ISA (a replicated-proc-table
+publish + rebind, with a cold DSM warm-up unless the two-phase
+TRANSFER had already landed the hot set there), and crash-killed
+requests are replayed there under the resilience layer's retry policy
+— or failed *loudly*, never silently dropped.  The
+:mod:`repro.serving.resilience` layer adds deadlines, retry budgets
+with decorrelated-jitter backoff, hedged requests, per-node circuit
+breakers, and admission control; all of it is inert by default, so a
+fault-free run with no resilience config is bit-identical to the
+pre-resilience engine.  Under ``REPRO_VALIDATE=1`` every run is
+audited for request conservation: *offered == completed + shed +
+failed-loudly*, each request in exactly one bucket.
 """
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -37,11 +59,21 @@ from repro import validate
 from repro.datacenter.cluster import DEFAULT_INTERCONNECT_BW
 from repro.datacenter.energy import RunResult
 from repro.datacenter.job import JobSpec, job_duration
+from repro.faults.detector import CONFIRM, FailureDetector
+from repro.faults.inject import FaultSchedule
 from repro.machine.machine import Machine, make_xeon_e5_1650v2, make_xgene1
 from repro.machine.mcpat import project_finfet
 from repro.serving.policies import ServingPolicy
+from repro.serving.resilience import (
+    AdmissionController,
+    CircuitBreaker,
+    ResilienceConfig,
+    RetryBudget,
+    next_backoff,
+)
 from repro.serving.slo import DEFAULT_SLO_S, slo_report
 from repro.serving.traffic import ArrivalTrace
+from repro.sim.rng import DeterministicRng
 from repro.validate.errors import InvariantViolation
 
 
@@ -58,6 +90,16 @@ class Request:
     migration_stall_s: float = 0.0
     #: Extra service paid to the post-migration DSM warm-up.
     warmup_extra_s: float = 0.0
+    #: Admission priority class (``resilience.PriorityClass`` name).
+    priority: str = "std"
+    #: Service starts so far (a crash-killed start is replayed).
+    attempts: int = 0
+    #: Last decorrelated-jitter backoff drawn for this request.
+    last_backoff_s: float = 0.0
+    #: Served on the non-home machine by the tail-latency hedge.
+    hedged: bool = False
+    #: Why the request failed loudly (``None`` while alive/completed).
+    failed_reason: Optional[str] = None
 
     @property
     def latency_s(self) -> float:
@@ -106,6 +148,41 @@ class HandoffCosts:
 
 
 @dataclass(frozen=True)
+class EngineConfig:
+    """Engine-level tuning knobs (separate from the hand-off cost model).
+
+    Pass one to :class:`ServingEngine` to override the legacy keyword
+    arguments; when omitted, the engine builds an equivalent config
+    from them, so existing callers see no change.
+    """
+
+    #: How many post-COMMIT requests share the residual DSM warm-up
+    #: surcharge after a hand-off.  The destination receives only the
+    #: ``hot_fraction`` of the working set eagerly during TRANSFER; the
+    #: remaining cold pages are pulled on demand by the first requests
+    #: served there, so each of the next ``dsm_warmup_requests``
+    #: requests pays ``(1 - hot_fraction) * footprint / bandwidth /
+    #: dsm_warmup_requests`` extra service time.  After a crash
+    #: *failover* (no TRANSFER happened — the source died with the hot
+    #: set) the same count of requests amortises the **full** footprint
+    #: instead.  Historically hard-coded to 64 in
+    #: :class:`HandoffCosts`; see ``docs/serving.md``.
+    dsm_warmup_requests: int = 64
+    #: Seconds between policy decision epochs.
+    decision_period_s: float = 0.05
+    #: Trailing window for the arrival-rate estimate policies see.
+    rate_window_s: float = 0.5
+
+    def __post_init__(self):
+        if self.dsm_warmup_requests < 1:
+            raise ValueError("dsm_warmup_requests must be >= 1")
+        if self.decision_period_s <= 0:
+            raise ValueError("decision period must be positive")
+        if self.rate_window_s <= 0:
+            raise ValueError("rate window must be positive")
+
+
+@dataclass(frozen=True)
 class ServingView:
     """What a policy sees at a decision epoch (all deterministic)."""
 
@@ -121,6 +198,13 @@ class ServingView:
     slo_s: float
     blackout_s: float  # engine's hand-off outage estimate
     since_commit_s: float  # seconds since the last hand-off committed
+    # ---- resilience-aware placement (defaults keep old views valid) ----
+    #: machine -> is it up and unfenced?  ``None`` = no fault wiring.
+    nodes_up: Optional[Dict[str, bool]] = None
+    #: machine -> is its circuit breaker open?  ``None`` = no breakers.
+    breaker_open: Optional[Dict[str, bool]] = None
+    #: Requests shed by admission control since the previous epoch.
+    shed_recent: int = 0
 
 
 @dataclass
@@ -131,11 +215,15 @@ class _Handoff:
     dst: str
     decided_at: float
     reason: str
-    phase: str = "drain"  # drain -> blackout -> (committed)
+    phase: str = "drain"  # drain -> blackout phases -> (committed)
     next_at: Optional[float] = None
     blackout_start: Optional[float] = None
     commit_at: Optional[float] = None
     phase_ends: List[Tuple[str, float]] = field(default_factory=list)
+    #: Chaos-announced phase boundaries still to step through.
+    pending: List[Tuple[str, float]] = field(default_factory=list)
+    #: Node whose ground-truth crash froze this hand-off (verdict due).
+    frozen_by: Optional[str] = None
 
 
 class ServingEngine:
@@ -156,6 +244,11 @@ class ServingEngine:
         costs: Optional[HandoffCosts] = None,
         tracer=None,
         start_machine: Optional[str] = None,
+        config: Optional[EngineConfig] = None,
+        faults: Optional[FaultSchedule] = None,
+        detector: Optional[FailureDetector] = None,
+        resilience: Optional[ResilienceConfig] = None,
+        rng: Optional[DeterministicRng] = None,
     ):
         if tracer is None:
             from repro.telemetry.spans import maybe_tracer
@@ -168,10 +261,21 @@ class ServingEngine:
         self.trace = trace
         self.spec = JobSpec(workload, cls, 1)
         self.slo_s = slo_s
-        self.decision_period_s = decision_period_s
-        self.rate_window_s = rate_window_s
-        self.interconnect_bw = interconnect_bw
         self.costs = costs if costs is not None else HandoffCosts()
+        if config is None:
+            config = EngineConfig(
+                dsm_warmup_requests=self.costs.warmup_requests,
+                decision_period_s=decision_period_s,
+                rate_window_s=rate_window_s,
+            )
+        else:
+            self.costs = dataclasses.replace(
+                self.costs, warmup_requests=config.dsm_warmup_requests
+            )
+        self.config = config
+        self.decision_period_s = config.decision_period_s
+        self.rate_window_s = config.rate_window_s
+        self.interconnect_bw = interconnect_bw
         if machines is None:
             machines = [make_xgene1("arm-server"), make_xeon_e5_1650v2("x86-server")]
         if len(machines) < 2:
@@ -192,7 +296,12 @@ class ServingEngine:
         footprint = self.spec.profile().params(cls).footprint_bytes
         self._footprint = footprint
         self.blackout_estimate_s = self.costs.blackout_s(footprint, interconnect_bw)
-        self._warmup_extra = self.costs.warmup_extra_s(footprint, interconnect_bw)
+        #: Per-request warm-up after a normal hand-off (cold fraction).
+        self._warmup_normal = self.costs.warmup_extra_s(footprint, interconnect_bw)
+        #: Per-request warm-up after a cold failover (full footprint —
+        #: the source died before TRANSFER could push the hot set).
+        self._warmup_cold = footprint / interconnect_bw / self.costs.warmup_requests
+        self._warmup_extra = self._warmup_normal
 
         self.location = (
             start_machine
@@ -202,6 +311,56 @@ class ServingEngine:
         if self.location not in self.machines:
             raise KeyError(f"unknown start machine {self.location!r}")
 
+        # ---- faults / detection / resilience ----
+        self.faults = faults
+        self.detector = detector
+        self.resilience = resilience
+        self.rng = rng if rng is not None else DeterministicRng(0)
+        #: Chaos hook (``at_step(step, roles)``); settable post-ctor.
+        self.chaos = None
+        self._up = {name: True for name in self.machines}
+        self._fenced = set()
+        self._crashed_at: Dict[str, float] = {}
+        self._mttd_samples: List[float] = []
+        breaker_kw = {}
+        if resilience is not None:
+            breaker_kw = dict(
+                failure_threshold=resilience.breaker_failure_threshold,
+                reset_s=resilience.breaker_reset_s,
+            )
+        self._breakers = {
+            name: CircuitBreaker(**breaker_kw) for name in self.machines
+        }
+        self._admission = (
+            AdmissionController(resilience) if resilience is not None else None
+        )
+        self._retry_budget = (
+            RetryBudget(resilience.retry_budget_fraction, resilience.min_retry_tokens)
+            if resilience is not None
+            else None
+        )
+        self._retry_stream = None
+        self._priority_stream = None
+        #: node -> crash-killed requests awaiting the detector verdict.
+        self._orphans: Dict[str, List[Request]] = {}
+        #: (ready_at, request) replays waiting out their backoff.
+        self._retries: List[Tuple[float, Request]] = []
+        self._fault_events = self._expand_faults(faults)
+        self._fault_idx = 0
+        self._degradations: List = []  # active LinkDegradation events
+        self._partitions: List = []  # active NetworkPartition events
+        self._next_hb = detector.period if detector is not None else 0.0
+        if detector is not None:
+            detector.reset(sorted(self.machines), 0.0)
+        self._failover_warm = False
+        self._outage_since: Optional[float] = None
+        self._dead_end = False
+        self._shed_recent = 0
+        self._retried_indices = set()
+        self._retry_attempts = 0
+        self._hedged_count = 0
+        self._timed_out = 0
+
         # ---- mutable run state ----
         self.now = 0.0
         self.queue: List[Request] = []  # FIFO; index 0 is next
@@ -209,10 +368,17 @@ class ServingEngine:
         self.current: Optional[Request] = None
         self._service_end = 0.0
         self._handoff: Optional[_Handoff] = None
+        self._hedge: Optional[Request] = None
+        self._hedge_end = 0.0
+        self._hedge_machine: Optional[str] = None
         self._warmup_left = 0
         self._last_commit = -1e9
         self.completed: List[Request] = []
+        self.shed: List[Request] = []
+        self.failed: List[Request] = []
         self.migrations = 0
+        self.failovers = 0
+        self.handoffs_aborted = 0
         self.deferrals = 0
         self.busy_seconds = 0.0
         self.blackout_seconds = 0.0
@@ -222,6 +388,78 @@ class ServingEngine:
         self._blackouts: List[Tuple[float, float, Optional[int]]] = []
 
     # ------------------------------------------------------------ helpers
+
+    def _expand_faults(self, faults) -> List[Tuple[float, int, str, object]]:
+        """Flatten a FaultSchedule into sorted (time, rank, action, payload)."""
+        if faults is None:
+            return []
+        events: List[Tuple[float, int, str, object]] = []
+        for ev in faults:
+            kind = getattr(ev, "kind", None)
+            if kind == "crash":
+                if ev.node not in self.machines:
+                    raise ValueError(
+                        f"fault schedule crashes unknown machine {ev.node!r}"
+                    )
+                events.append((ev.time, 0, "crash", ev.node))
+                if not ev.permanent:
+                    events.append(
+                        (ev.time + ev.repair_seconds, 1, "repair", ev.node)
+                    )
+            elif kind == "repair":
+                if ev.node not in self.machines:
+                    raise ValueError(
+                        f"fault schedule repairs unknown machine {ev.node!r}"
+                    )
+                events.append((ev.time, 1, "repair", ev.node))
+            elif kind == "degrade":
+                events.append((ev.time, 2, "degrade-on", ev))
+                events.append((ev.time + ev.duration, 3, "degrade-off", ev))
+            elif kind == "partition":
+                events.append((ev.time, 2, "part-on", ev))
+                events.append((ev.time + ev.duration, 3, "part-off", ev))
+            else:
+                raise ValueError(f"serving cannot apply fault event {ev!r}")
+        return sorted(events, key=lambda e: (e[0], e[1], str(e[3])))
+
+    def _avail(self, name: str) -> bool:
+        """Is the node up and unfenced (usable for serving)?"""
+        return self._up[name] and name not in self._fenced
+
+    def _other_machine(self) -> Optional[str]:
+        """The best available machine that is not the current home."""
+        pool = [
+            m for m in self.machines if m != self.location and self._avail(m)
+        ]
+        if not pool:
+            return None
+        return min(pool, key=lambda m: (self.service_s[m], m))
+
+    def _current_bw(self) -> float:
+        """Interconnect bandwidth under active degradation windows."""
+        if not self._degradations:
+            return self.interconnect_bw
+        bw = self.interconnect_bw
+        for ev in self._degradations:
+            bw *= ev.bandwidth_factor
+        return bw
+
+    def _site(self, step: str, roles: Optional[Dict[str, str]] = None) -> None:
+        """Announce a crashable serving protocol step to the chaos hook."""
+        if self.chaos is None:
+            return
+        if roles is None:
+            roles = {"serving": self.location}
+            other = [m for m in sorted(self.machines) if m != self.location]
+            if other:
+                roles["standby"] = other[0]
+        self.chaos.at_step(step, roles)
+
+    def inject_crash(self, node: str) -> None:
+        """Ground-truth crash of ``node`` right now (chaos-harness hook)."""
+        if node not in self.machines:
+            raise KeyError(f"unknown machine {node!r}")
+        self._on_node_crash(node)
 
     def _queue_depth(self) -> int:
         return len(self.queue) - self._queue_head
@@ -234,6 +472,14 @@ class ServingEngine:
             self._queue_head = 0
         return request
 
+    def _push_front(self, request: Request) -> None:
+        """Re-insert a replayed request at the head (it is the oldest)."""
+        if self._queue_head > 0:
+            self._queue_head -= 1
+            self.queue[self._queue_head] = request
+        else:
+            self.queue.insert(0, request)
+
     def _rate_between(self, t0: float, t1: float) -> float:
         if t1 <= t0:
             return 0.0
@@ -244,14 +490,23 @@ class ServingEngine:
         if dt <= 0:
             return
         for name, power in self._powers.items():
-            if name == self.location:
-                busy = 1.0 if self.current is not None else 0.0
+            if not self._up[name] or name in self._fenced:
+                watts = 0.0  # dead, or ostracised: the fleet powered it off
+            elif name == self.location:
+                busy = (
+                    1.0
+                    if self.current is not None
+                    or (self._hedge is not None and self._hedge_machine == name)
+                    else 0.0
+                )
                 watts = power.cpu_power(busy)
             elif self._handoff is not None:
                 # Both boxes are awake for the duration of a hand-off.
                 watts = power.cpu_power(
                     1.0 if self._handoff.phase != "drain" else 0.0
                 )
+            elif self._hedge is not None and name == self._hedge_machine:
+                watts = power.cpu_power(1.0)  # racing the hedged request
             else:
                 watts = 0.0  # parked: the fleet reclaimed the idle box
             self.energy_joules[name] += watts * dt
@@ -264,9 +519,18 @@ class ServingEngine:
             return
         if self._queue_depth() == 0:
             return
+        if not self._up[self.location] or self.location in self._fenced:
+            return  # home is down; failover/repair will resume service
+        if self._hedge is not None and self._hedge_machine == self.location:
+            return  # the hedge occupies this box; wait for it to finish
+        if self.chaos is not None:
+            self._site("serve.serve")
+            if not self._avail(self.location):
+                return  # the chaos crash fired at the serve site
         request = self._pop_queue()
         request.start_s = self.now
         request.machine = self.location
+        request.attempts += 1
         service = self.service_s[self.location]
         if self._warmup_left > 0:
             request.warmup_extra_s = self._warmup_extra
@@ -274,27 +538,53 @@ class ServingEngine:
             self._warmup_left -= 1
             if self._warmup_left == 0:
                 self._end_warmup()
-        # Attribute any overlap between the wait and past blackouts.
+        self._attribute_stall(request)
+        self.current = request
+        self._service_end = self.now + service
+
+    def _attribute_stall(self, request: Request) -> None:
+        """Attribute wait overlapping past blackouts to migration stall."""
         for b0, b1, span_id in self._blackouts:
             overlap = min(b1, request.start_s) - max(b0, request.arrival_s)
             if overlap > 1e-12:
                 request.migration_stall_s += overlap
-        self.current = request
-        self._service_end = self.now + service
 
     def _on_departure(self) -> None:
+        if self.chaos is not None:
+            self._site("serve.complete")
+            if self.current is None or not self._avail(self.location):
+                return  # the crash beat the completion: replay, not done
         request = self.current
         request.finish_s = self.now
         self.busy_seconds += self.now - request.start_s
         self.current = None
         self.completed.append(request)
+        breaker = self._breakers[self.location]
+        if breaker.state != "closed":
+            breaker.record_success(self.now)
         if self.tracer is not None:
             self._emit_request_span(request)
         handoff = self._handoff
         if handoff is not None and handoff.phase == "drain":
-            self._begin_blackout(handoff)
+            if handoff.frozen_by is None:
+                self._begin_blackout(handoff)
         else:
             self._start_next()
+
+    def _on_hedge_departure(self) -> None:
+        request = self._hedge
+        request.finish_s = self.now
+        self.busy_seconds += self.now - request.start_s
+        self._hedge = None
+        machine = self._hedge_machine
+        self._hedge_machine = None
+        self.completed.append(request)
+        breaker = self._breakers[machine]
+        if breaker.state != "closed":
+            breaker.record_success(self.now)
+        if self.tracer is not None:
+            self._emit_request_span(request)
+        self._start_next()
 
     def _emit_request_span(self, request: Request) -> None:
         tracer = self.tracer
@@ -305,6 +595,10 @@ class ServingEngine:
         }
         if request.warmup_extra_s:
             attrs["warmup_s"] = round(request.warmup_extra_s, 9)
+        if request.hedged:
+            attrs["hedged"] = True
+        if request.attempts > 1:
+            attrs["attempts"] = request.attempts
         span = tracer.complete(
             "serve.request", "serve", request.arrival_s,
             request.latency_s, track=request.machine, **attrs,
@@ -334,6 +628,394 @@ class ServingEngine:
             request.queue_wait_s
         )
 
+    # ------------------------------------------------------- resilience
+
+    def _retry_u(self) -> float:
+        if self._retry_stream is None:
+            self._retry_stream = self.rng.stream("serve.retry")
+        return self._retry_stream.random()
+
+    def _priority_u(self) -> float:
+        if self._priority_stream is None:
+            self._priority_stream = self.rng.stream("serve.priority")
+        return self._priority_stream.random()
+
+    def _fail_request(self, request: Request, reason: str) -> None:
+        """The request fails *loudly*: counted, spanned, never dropped."""
+        request.failed_reason = reason
+        self.failed.append(request)
+        if reason == "deadline-exceeded":
+            self._timed_out += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                "serve.failed", "serve", track=self.location,
+                req=request.index, reason=reason,
+            )
+            self.tracer.metrics.counter("serve.failed").inc()
+
+    def _retry_or_fail(self, request: Request, reason: str) -> None:
+        """Replay a crash-killed request under the retry policy, or fail."""
+        res = self.resilience
+        if (
+            res is not None
+            and request.attempts < res.max_attempts
+            and self._retry_budget.allow()
+        ):
+            self._retry_budget.spend()
+            self._retry_attempts += 1
+            self._retried_indices.add(request.index)
+            backoff = next_backoff(
+                res.retry_backoff, request.attempts,
+                request.last_backoff_s, self._retry_u(),
+            )
+            request.last_backoff_s = backoff
+            self._retries.append((self.now + backoff, request))
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "serve.retry", "serve", track=self.location,
+                    req=request.index, attempt=request.attempts,
+                    backoff_s=round(backoff, 9),
+                )
+                self.tracer.metrics.counter("serve.retries").inc()
+        elif res is not None and request.attempts >= res.max_attempts:
+            self._fail_request(request, "retries-exhausted")
+        elif res is not None:
+            self._fail_request(request, "retry-budget-exhausted")
+        else:
+            self._fail_request(request, reason)
+
+    def _resolve_orphans(self, node: str) -> None:
+        """The verdict on ``node`` is in: replay (or fail) its victims."""
+        for request in self._orphans.pop(node, []):
+            self._retry_or_fail(request, "service-crashed")
+
+    def _release_retries(self) -> None:
+        """Re-queue every replay whose backoff has elapsed."""
+        due = [(t, r) for t, r in self._retries if t <= self.now + 1e-12]
+        if not due:
+            return
+        self._retries = [
+            (t, r) for t, r in self._retries if t > self.now + 1e-12
+        ]
+        # Head insertion in reverse-arrival order keeps the queue
+        # sorted by arrival (replays are older than anything queued).
+        for _, request in sorted(due, key=lambda e: -e[1].index):
+            self._push_front(request)
+        self._start_next()
+
+    def _expire_deadlines(self) -> None:
+        """Fail every waiting request whose client gave up."""
+        timeout = self.resilience.request_timeout_s
+        while (
+            self._queue_depth() > 0
+            and self.queue[self._queue_head].arrival_s + timeout
+            <= self.now + 1e-12
+        ):
+            self._fail_request(self._pop_queue(), "deadline-exceeded")
+        keep = []
+        for ready, request in self._retries:
+            if request.arrival_s + timeout <= self.now + 1e-12:
+                self._fail_request(request, "deadline-exceeded")
+            else:
+                keep.append((ready, request))
+        self._retries = keep
+
+    def _launch_hedge(self) -> None:
+        """Race the longest-waiting request on the other (idle) machine."""
+        res = self.resilience
+        if (
+            self._hedge is not None
+            or self._handoff is not None
+            or self._queue_depth() == 0
+        ):
+            return
+        machine = self._other_machine()
+        if machine is None or not self._breakers[machine].allow(self.now):
+            return
+        request = self._pop_queue()
+        request.start_s = self.now
+        request.machine = machine
+        request.attempts += 1
+        request.hedged = True
+        self._attribute_stall(request)
+        self._hedge = request
+        self._hedge_machine = machine
+        self._hedge_end = self.now + self.service_s[machine] + res.hedge_overhead_s
+        self._hedged_count += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                "serve.hedge", "serve", track=machine, req=request.index,
+            )
+            self.tracer.metrics.counter("serve.hedges").inc()
+
+    # ------------------------------------------------- faults & failover
+
+    def _on_node_crash(self, node: str) -> None:
+        """Ground truth: ``node`` dies *now*.  In-flight work is killed
+        immediately; recovery waits for the detector's CONFIRM verdict
+        (instantaneous when no detector is attached)."""
+        if not self._up[node]:
+            return
+        self._up[node] = False
+        self._crashed_at[node] = self.now
+        if self.tracer is not None:
+            self.tracer.instant("serve.node.crash", "serve", track=node)
+            self.tracer.metrics.counter("serve.node_crashes").inc()
+        if self.current is not None and self.location == node:
+            request = self.current
+            self.current = None
+            self.busy_seconds += self.now - request.start_s
+            request.start_s = None
+            request.machine = None
+            self._orphans.setdefault(node, []).append(request)
+        if self._hedge is not None and self._hedge_machine == node:
+            request = self._hedge
+            self._hedge = None
+            self._hedge_machine = None
+            self.busy_seconds += self.now - request.start_s
+            request.start_s = None
+            request.machine = None
+            self._orphans.setdefault(node, []).append(request)
+        handoff = self._handoff
+        if handoff is not None and node in (handoff.src, handoff.dst):
+            # The protocol stalls until the detector renders a verdict.
+            handoff.frozen_by = node
+            handoff.next_at = None
+        if self.detector is None:
+            # Omniscient baseline: crash known the instant it happens.
+            self._fenced.add(node)
+            self._on_node_confirmed_dead(node)
+
+    def _on_node_repair(self, node: str) -> None:
+        if self._up[node]:
+            return
+        self._up[node] = True
+        self._crashed_at.pop(node, None)
+        self._fenced.discard(node)
+        if self.detector is not None:
+            self.detector.clear(node, self.now)
+        breaker = self._breakers[node]
+        if breaker.state != "closed":
+            breaker.touch(self.now)
+        if self.tracer is not None:
+            self.tracer.instant("serve.node.repair", "serve", track=node)
+            self.tracer.metrics.counter("serve.node_repairs").inc()
+        self._resolve_orphans(node)
+        handoff = self._handoff
+        if handoff is not None and handoff.frozen_by == node:
+            handoff.frozen_by = None
+            if handoff.phase == "failover":
+                handoff.next_at = (
+                    self.now + self.costs.publish_s + self.costs.commit_s
+                )
+            elif handoff.phase == "drain":
+                if self.current is None:
+                    self._begin_blackout(handoff)
+            else:
+                self._begin_blackout(handoff)  # the transfer restarts
+        if (
+            not self._avail(self.location)
+            and self._handoff is None
+            and not self._dead_end
+        ):
+            self._begin_failover(
+                "repair-failover", warm=False,
+                blackout_start=self._outage_since,
+            )
+            self._outage_since = None
+        self._start_next()
+
+    def _on_node_confirmed_dead(self, node: str) -> None:
+        """The detector confirmed ``node`` dead (possibly falsely): fence
+        it, trip its breaker, resolve its orphans, and fail over if it
+        was hosting the service or party to a hand-off."""
+        now = self.now
+        crash_t = self._crashed_at.pop(node, None)
+        if crash_t is not None:
+            self._mttd_samples.append(now - crash_t)
+        self._fenced.add(node)
+        self._breakers[node].trip(now)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "serve.node.dead", "serve", track=node,
+                false=self._up[node],
+            )
+            self.tracer.metrics.counter("serve.node_deaths").inc()
+        if self._up[node]:
+            # False confirm: the live node is ostracised — it must stop
+            # serving, so its in-flight work is killed like a crash's.
+            if self.current is not None and self.location == node:
+                request = self.current
+                self.current = None
+                self.busy_seconds += now - request.start_s
+                request.start_s = None
+                request.machine = None
+                self._orphans.setdefault(node, []).append(request)
+            if self._hedge is not None and self._hedge_machine == node:
+                request = self._hedge
+                self._hedge = None
+                self._hedge_machine = None
+                self.busy_seconds += now - request.start_s
+                request.start_s = None
+                request.machine = None
+                self._orphans.setdefault(node, []).append(request)
+        self._resolve_orphans(node)
+        handoff = self._handoff
+        if handoff is not None:
+            if handoff.phase == "failover":
+                if node == handoff.dst:
+                    self._handoff = None
+                    self._begin_failover(
+                        handoff.reason, warm=False,
+                        blackout_start=handoff.blackout_start,
+                    )
+            elif node == handoff.dst:
+                self._abort_handoff("dst-dead")
+            elif node == handoff.src:
+                transfer_end = dict(handoff.phase_ends).get("transfer")
+                death_t = crash_t if crash_t is not None else now
+                self._handoff = None
+                if (
+                    transfer_end is not None
+                    and death_t >= transfer_end - 1e-12
+                ):
+                    # TRANSFER landed before the source died: the hot
+                    # set is at dst — promote it (warm restore).
+                    self.migrations += 1
+                    self._begin_failover(
+                        "promote-dst", warm=True,
+                        blackout_start=handoff.blackout_start,
+                    )
+                else:
+                    self.handoffs_aborted += 1
+                    self._begin_failover(
+                        "src-dead", warm=False,
+                        blackout_start=(
+                            handoff.blackout_start
+                            if handoff.blackout_start is not None
+                            else now
+                        ),
+                    )
+        if node == self.location and self._handoff is None:
+            self._begin_failover("node-dead", warm=False)
+
+    def _begin_failover(
+        self,
+        reason: str,
+        warm: bool,
+        blackout_start: Optional[float] = None,
+    ) -> None:
+        """Restore the service on a surviving node (or record an outage)."""
+        now = self.now
+        survivors = [m for m in sorted(self.machines) if self._avail(m)]
+        if not survivors:
+            # Total outage: wait for a repair; if none can ever come,
+            # every waiting request fails loudly (the dead end).
+            self._outage_since = (
+                blackout_start if blackout_start is not None else now
+            )
+            if not self._revive_possible():
+                self._fail_everything()
+            return
+        allowed = [m for m in survivors if self._breakers[m].allow(now)]
+        pool = allowed if allowed else survivors
+        target = min(pool, key=lambda m: (self.service_s[m], m))
+        restore = self.costs.publish_s + self.costs.commit_s
+        self._handoff = _Handoff(
+            src=self.location, dst=target, decided_at=now, reason=reason,
+            phase="failover",
+            blackout_start=blackout_start if blackout_start is not None else now,
+            next_at=now + restore, commit_at=now + restore,
+        )
+        self._failover_warm = warm
+        self.failovers += 1
+        if self.tracer is not None:
+            self.tracer.metrics.counter("serve.failovers").inc()
+
+    def _complete_failover(self) -> None:
+        handoff = self._handoff
+        self._handoff = None
+        self.location = handoff.dst
+        self._last_commit = self.now
+        self._warmup_left = self.costs.warmup_requests
+        self._warmup_extra = (
+            self._warmup_normal if self._failover_warm else self._warmup_cold
+        )
+        self.blackout_seconds += self.now - handoff.blackout_start
+        self.handoff_seconds += self.now - handoff.decided_at
+        span_id = None
+        if self.tracer is not None:
+            span = self.tracer.complete(
+                "serve.failover", "serve", handoff.blackout_start,
+                self.now - handoff.blackout_start, track=handoff.dst,
+                src=handoff.src, dst=handoff.dst, reason=handoff.reason,
+                warm=self._failover_warm,
+            )
+            span_id = span.span_id
+        self._blackouts.append((handoff.blackout_start, self.now, span_id))
+        self._start_next()
+
+    def _revive_possible(self) -> bool:
+        """Can any machine ever serve again (repair pending, or a live
+        fenced node that could rejoin)?"""
+        for _, _, action, _ in self._fault_events[self._fault_idx:]:
+            if action == "repair":
+                return True
+        return any(
+            self._up[m] and m in self._fenced for m in self.machines
+        )
+
+    def _fail_everything(self) -> None:
+        """Dead end — no machine can ever serve again.  Every waiting
+        request fails loudly so nothing is silently stranded."""
+        self._dead_end = True
+        while self._queue_depth() > 0:
+            self._fail_request(self._pop_queue(), "no-capacity")
+        for _, request in self._retries:
+            self._fail_request(request, "no-capacity")
+        self._retries = []
+        for node in list(self._orphans):
+            for request in self._orphans.pop(node):
+                self._fail_request(request, "no-capacity")
+
+    # -------------------------------------------------------- detection
+
+    def _islanded(self, node: str) -> bool:
+        return any(node in ev.island for ev in self._partitions)
+
+    def _heartbeat_round(self) -> None:
+        detector = self.detector
+        stretch = 1.0
+        for ev in self._degradations:
+            stretch *= ev.latency_factor
+        late = stretch >= detector.config.degradation_miss_factor
+        heard = {
+            node: self._up[node] and not self._islanded(node) and not late
+            for node in self.machines
+        }
+        # A falsely fenced node heard again rejoins (PR-4 semantics).
+        for node in sorted(self._fenced):
+            if self._up[node] and heard[node]:
+                detector.clear(node, self.now)
+                self._fenced.discard(node)
+                self._breakers[node].touch(self.now)
+                if (
+                    not self._avail(self.location)
+                    and self._handoff is None
+                    and not self._dead_end
+                ):
+                    self._begin_failover(
+                        "rejoin-failover", warm=False,
+                        blackout_start=self._outage_since,
+                    )
+                    self._outage_since = None
+                self._start_next()
+        events = detector.observe(self.now, heard, dict(self._up))
+        for event, node in events:
+            if event == CONFIRM:
+                self._on_node_confirmed_dead(node)
+        self._next_hb += detector.period
+
     # ---------------------------------------------------------- hand-off
 
     def _initiate_handoff(self, target: str, reason: str) -> None:
@@ -349,10 +1031,12 @@ class ServingEngine:
 
     def _begin_blackout(self, handoff: _Handoff) -> None:
         handoff.phase = "transform"
-        handoff.blackout_start = self.now
+        if handoff.blackout_start is None:
+            handoff.blackout_start = self.now
+        handoff.phase_ends = []
         t = self.now + self.costs.transform_s
         handoff.phase_ends.append(("transform", t))
-        transfer = self.costs.transfer_s(self._footprint, self.interconnect_bw)
+        transfer = self.costs.transfer_s(self._footprint, self._current_bw())
         t += transfer
         handoff.phase_ends.append(("transfer", t))
         t += self.costs.publish_s
@@ -360,7 +1044,49 @@ class ServingEngine:
         t += self.costs.commit_s
         handoff.phase_ends.append(("commit", t))
         handoff.commit_at = t
-        handoff.next_at = t
+        if self.chaos is not None:
+            # Step through every phase boundary so the chaos harness can
+            # crash either party at each protocol site.
+            ends = dict(handoff.phase_ends)
+            handoff.pending = [
+                ("serve.handoff.transfer", ends["transform"]),
+                ("serve.handoff.publish", ends["transfer"]),
+                ("serve.handoff.commit", ends["publish"]),
+            ]
+            handoff.next_at = handoff.pending[0][1]
+            self._site(
+                "serve.handoff.prepare",
+                {"src": handoff.src, "dst": handoff.dst},
+            )
+        else:
+            handoff.next_at = t
+
+    def _advance_handoff(self) -> None:
+        """Chaos-mode phase stepping: announce the next phase boundary."""
+        handoff = self._handoff
+        step, _ = handoff.pending.pop(0)
+        handoff.phase = step.rsplit(".", 1)[1]
+        handoff.next_at = (
+            handoff.pending[0][1] if handoff.pending else handoff.commit_at
+        )
+        self._site(step, {"src": handoff.src, "dst": handoff.dst})
+
+    def _abort_handoff(self, reason: str) -> None:
+        handoff = self._handoff
+        self._handoff = None
+        self.handoffs_aborted += 1
+        self.handoff_seconds += self.now - handoff.decided_at
+        if handoff.blackout_start is not None:
+            self.blackout_seconds += self.now - handoff.blackout_start
+            self._blackouts.append((handoff.blackout_start, self.now, None))
+        if self.tracer is not None:
+            self.tracer.instant(
+                "serve.handoff.abort", "serve", track=handoff.src,
+                dst=handoff.dst, reason=reason,
+            )
+            self.tracer.metrics.counter("serve.handoffs_aborted").inc()
+        if self._avail(self.location):
+            self._start_next()
 
     def _commit_handoff(self) -> None:
         handoff = self._handoff
@@ -368,6 +1094,7 @@ class ServingEngine:
         self.location = handoff.dst
         self.migrations += 1
         self._warmup_left = self.costs.warmup_requests
+        self._warmup_extra = self._warmup_normal
         self._last_commit = self.now
         blackout = self.now - handoff.blackout_start
         self.blackout_seconds += blackout
@@ -424,6 +1151,11 @@ class ServingEngine:
 
     def _run_epoch(self) -> None:
         w = self.rate_window_s
+        fault_aware = (
+            self.faults is not None
+            or self.detector is not None
+            or self.resilience is not None
+        )
         view = ServingView(
             now=self.now,
             machine=self.location,
@@ -437,7 +1169,19 @@ class ServingEngine:
             slo_s=self.slo_s,
             blackout_s=self.blackout_estimate_s,
             since_commit_s=self.now - self._last_commit,
+            nodes_up=(
+                {m: self._avail(m) for m in self.machines}
+                if fault_aware
+                else None
+            ),
+            breaker_open=(
+                {m: self._breakers[m].is_open for m in self.machines}
+                if fault_aware
+                else None
+            ),
+            shed_recent=self._shed_recent,
         )
+        self._shed_recent = 0
         decision = self.policy.decide(view)
         if decision is None:
             return
@@ -449,19 +1193,33 @@ class ServingEngine:
             )
             self.tracer.metrics.counter("serve.decisions").inc()
         if decision.target is None:
-            self.deferrals += 1
-            if self.tracer is not None:
-                self.tracer.instant(
-                    "serve.defer", "serve", track=self.location,
-                    policy=self.policy.name, reason=decision.reason,
-                )
-                self.tracer.metrics.counter("serve.deferrals").inc()
+            self._defer(decision.reason)
             return
         if decision.target == self.location:
             return
         if decision.target not in self.machines:
             raise KeyError(f"policy chose unknown machine {decision.target!r}")
+        if (
+            not self._avail(decision.target)
+            or not self._avail(self.location)
+            or not self._breakers[decision.target].allow(self.now)
+            or self._hedge is not None
+        ):
+            # The engine is the last line of defence: a decision aimed
+            # at a dead / fenced / breaker-open node (or landing while
+            # a hedge occupies the target) becomes an explicit deferral.
+            self._defer("target-unavailable")
+            return
         self._initiate_handoff(decision.target, decision.reason)
+
+    def _defer(self, reason: str) -> None:
+        self.deferrals += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                "serve.defer", "serve", track=self.location,
+                policy=self.policy.name, reason=reason,
+            )
+            self.tracer.metrics.counter("serve.deferrals").inc()
 
     # -------------------------------------------------------------- run
 
@@ -471,40 +1229,121 @@ class ServingEngine:
         n = len(times)
         idx = 0
         next_epoch = self.decision_period_s
+        res = self.resilience
+        faults_on = bool(self._fault_events)
+        hedge_on = res is not None and res.hedge_delay_s is not None
+        timeout_on = res is not None and res.request_timeout_s is not None
 
         while True:
+            # Event kinds order same-time ties; the relative order of
+            # the original four (hand-off=0 < departure=1 < arrival=4 <
+            # epoch=9) is preserved so fault-free runs are bit-identical
+            # to the pre-resilience engine.
             candidates = []
             handoff = self._handoff
             if handoff is not None and handoff.next_at is not None:
                 candidates.append((handoff.next_at, 0))
             if self.current is not None:
                 candidates.append((self._service_end, 1))
-            if idx < n:
-                candidates.append((times[idx], 2))
+            if self._hedge is not None:
+                candidates.append((self._hedge_end, 2))
             work_left = (
                 idx < n
                 or self._queue_depth() > 0
                 or self.current is not None
+                or self._hedge is not None
                 or self._handoff is not None
+                or bool(self._retries)
+                or any(self._orphans.values())
             )
+            if (
+                faults_on
+                and self._fault_idx < len(self._fault_events)
+                and work_left
+            ):
+                candidates.append(
+                    (self._fault_events[self._fault_idx][0], 3)
+                )
+            if idx < n:
+                candidates.append((times[idx], 4))
+            if self._retries:
+                candidates.append(
+                    (min(t for t, _ in self._retries), 5)
+                )
+            if timeout_on:
+                deadline = None
+                if self._queue_depth() > 0:
+                    deadline = (
+                        self.queue[self._queue_head].arrival_s
+                        + res.request_timeout_s
+                    )
+                for _, request in self._retries:
+                    d = request.arrival_s + res.request_timeout_s
+                    if deadline is None or d < deadline:
+                        deadline = d
+                if deadline is not None:
+                    candidates.append((max(deadline, self.now), 6))
+            if (
+                hedge_on
+                and self._hedge is None
+                and self._handoff is None
+                and self._queue_depth() > 0
+            ):
+                machine = self._other_machine()
+                if machine is not None and self._breakers[machine].allow(
+                    self.now
+                ):
+                    ready = (
+                        self.queue[self._queue_head].arrival_s
+                        + res.hedge_delay_s
+                    )
+                    candidates.append((max(ready, self.now), 7))
+            if self.detector is not None and work_left:
+                candidates.append((self._next_hb, 8))
             if work_left:
-                candidates.append((next_epoch, 3))
+                candidates.append((next_epoch, 9))
             if not candidates:
                 break
             t, kind = min(candidates)
             self._accrue(t - self.now)
             self.now = t
             if kind == 0:
-                self._commit_handoff()
+                handoff = self._handoff
+                if handoff.phase == "failover":
+                    self._complete_failover()
+                elif handoff.pending:
+                    self._advance_handoff()
+                else:
+                    self._commit_handoff()
             elif kind == 1:
                 self._on_departure()
             elif kind == 2:
+                self._on_hedge_departure()
+            elif kind == 3:
+                while (
+                    self._fault_idx < len(self._fault_events)
+                    and self._fault_events[self._fault_idx][0]
+                    <= self.now + 1e-12
+                ):
+                    _, _, action, payload = self._fault_events[
+                        self._fault_idx
+                    ]
+                    self._fault_idx += 1
+                    self._apply_fault(action, payload)
+            elif kind == 4:
                 request = Request(index=idx, arrival_s=t)
                 idx += 1
-                self.queue.append(request)
                 if self.tracer is not None:
                     self.tracer.metrics.counter("serve.requests").inc()
-                self._start_next()
+                self._admit(request)
+            elif kind == 5:
+                self._release_retries()
+            elif kind == 6:
+                self._expire_deadlines()
+            elif kind == 7:
+                self._launch_hedge()
+            elif kind == 8:
+                self._heartbeat_round()
             else:
                 self._run_epoch()
                 next_epoch = self.now + self.decision_period_s
@@ -513,12 +1352,85 @@ class ServingEngine:
             self._check_conservation(n)
         return self._result(n)
 
-    def _check_conservation(self, admitted: int) -> None:
-        """REPRO_VALIDATE: every request accounted for, breakdown sane."""
-        if len(self.completed) != admitted:
+    def _apply_fault(self, action: str, payload) -> None:
+        if action == "crash":
+            self._on_node_crash(payload)
+        elif action == "repair":
+            self._on_node_repair(payload)
+        elif action == "degrade-on":
+            self._degradations.append(payload)
+        elif action == "degrade-off":
+            self._degradations.remove(payload)
+        elif action == "part-on":
+            self._partitions.append(payload)
+        elif action == "part-off":
+            self._partitions.remove(payload)
+
+    def _admit(self, request: Request) -> None:
+        """Admission control at the door: classify, gate, enqueue/shed."""
+        if self._retry_budget is not None:
+            self._retry_budget.offer()
+        if self._dead_end:
+            self._fail_request(request, "no-capacity")
+            return
+        self._site("serve.admit")
+        admission = self._admission
+        if admission is not None:
+            if len(admission.cumulative) > 1:
+                priority = admission.classify(self._priority_u())
+            else:
+                priority = admission.cumulative[0][1]
+            request.priority = priority.name
+            if not admission.admit(self.now, self._queue_depth(), priority):
+                self.shed.append(request)
+                self._shed_recent += 1
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "serve.shed", "serve", track=self.location,
+                        req=request.index, reason=admission.last_reason,
+                        priority=priority.name,
+                    )
+                    self.tracer.metrics.counter("serve.shed").inc()
+                return
+        self._site("serve.enqueue")
+        self.queue.append(request)
+        self._start_next()
+
+    def _check_conservation(self, offered: int) -> None:
+        """REPRO_VALIDATE: every request in exactly one outcome bucket,
+        per-request timelines sane."""
+        completed = {r.index for r in self.completed}
+        shed = {r.index for r in self.shed}
+        failed = {r.index for r in self.failed}
+        if (
+            len(completed) != len(self.completed)
+            or len(shed) != len(self.shed)
+            or len(failed) != len(self.failed)
+        ):
+            raise InvariantViolation(
+                "serving", "request-exactly-once",
+                "a request appears twice in one outcome bucket",
+                state={
+                    "completed": len(self.completed),
+                    "distinct": len(completed),
+                },
+            )
+        overlap = (completed & shed) | (completed & failed) | (shed & failed)
+        if overlap:
+            raise InvariantViolation(
+                "serving", "request-exactly-once",
+                f"requests in more than one outcome bucket: "
+                f"{sorted(overlap)[:8]}",
+                state={"overlap": len(overlap)},
+            )
+        union = completed | shed | failed
+        if len(union) != offered or (union and max(union) >= offered):
+            missing = sorted(set(range(offered)) - union)[:8]
             raise InvariantViolation(
                 "serving", "requests-conserved",
-                f"admitted {admitted}, completed {len(self.completed)}",
+                f"offered {offered}, completed {len(completed)} "
+                f"+ shed {len(shed)} + failed {len(failed)} "
+                f"= {len(union)} (missing e.g. {missing})",
                 state={"queue_depth": self._queue_depth()},
             )
         for request in self.completed:
@@ -549,6 +1461,13 @@ class ServingEngine:
     def _result(self, admitted: int) -> RunResult:
         latencies = [r.latency_s for r in self.completed]
         report = slo_report(latencies, self.slo_s, admitted)
+        in_slo = report.completed - report.violations
+        detector = self.detector
+        mttd = (
+            sum(self._mttd_samples) / len(self._mttd_samples)
+            if self._mttd_samples
+            else 0.0
+        )
         return RunResult(
             policy=self.policy.name,
             makespan=self.now,
@@ -559,7 +1478,15 @@ class ServingEngine:
             busy_seconds=self.busy_seconds,
             overhead_seconds=self.blackout_seconds,
             handoffs=self.migrations,
+            handoffs_aborted=self.handoffs_aborted,
             handoff_seconds=self.handoff_seconds,
+            mttd=mttd,
+            false_suspicions=(
+                detector.stats.false_suspicions if detector is not None else 0
+            ),
+            false_confirms=(
+                detector.stats.false_confirms if detector is not None else 0
+            ),
             metrics=(
                 self.tracer.metrics.snapshot()
                 if self.tracer is not None
@@ -576,4 +1503,13 @@ class ServingEngine:
             migration_stall_seconds=sum(
                 r.migration_stall_s for r in self.completed
             ),
+            requests_shed=len(self.shed),
+            requests_failed=len(self.failed),
+            requests_retried=len(self._retried_indices),
+            requests_hedged=self._hedged_count,
+            retry_attempts=self._retry_attempts,
+            failovers=self.failovers,
+            breaker_opens=sum(b.opens for b in self._breakers.values()),
+            goodput_rps=in_slo / self.now if self.now > 0 else 0.0,
+            slo_attainment=in_slo / admitted if admitted else 0.0,
         )

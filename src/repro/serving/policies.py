@@ -46,6 +46,24 @@ class Decision:
     reason: str
 
 
+def node_available(view: "ServingView", machine: str) -> bool:
+    """Is ``machine`` a sane migration target right now?
+
+    A node is unavailable when the fault layer reports it down/fenced
+    (``view.nodes_up``) or its circuit breaker is open
+    (``view.breaker_open``).  Fault-free views carry ``None`` for both,
+    so every machine is available and pre-resilience decisions are
+    unchanged.
+    """
+    if view.nodes_up is not None and not view.nodes_up.get(machine, True):
+        return False
+    if view.breaker_open is not None and view.breaker_open.get(
+        machine, False
+    ):
+        return False
+    return True
+
+
 def predicted_tail_s(view: "ServingView", machine: str) -> float:
     """Predicted tail latency if the service ran on ``machine`` now.
 
@@ -112,9 +130,17 @@ class QueueReactiveServing(ServingPolicy):
             return None
         fast = min(view.service_s, key=lambda m: (view.service_s[m], m))
         slow = max(view.service_s, key=lambda m: (view.service_s[m], m))
-        if view.machine != fast and view.queue_depth > self.surge_queue:
+        if (
+            view.machine != fast
+            and view.queue_depth > self.surge_queue
+            and node_available(view, fast)
+        ):
             return Decision(fast, "queue-over-threshold")
-        if view.machine != slow and view.queue_depth <= self.calm_queue:
+        if (
+            view.machine != slow
+            and view.queue_depth <= self.calm_queue
+            and node_available(view, slow)
+        ):
             return Decision(slow, "queue-drained")
         return None
 
@@ -141,11 +167,22 @@ class LatencyAwareServing(ServingPolicy):
         slow = max(view.service_s, key=lambda m: (view.service_s[m], m))
         if fast == slow:
             return None
+        # Shed pressure: admission control dropping requests means the
+        # current machine is overloaded beyond what the queue gates can
+        # absorb — move to the fast machine immediately (if it is up
+        # and its breaker is closed) rather than waiting for the tail
+        # prediction to catch up.
+        if (
+            view.shed_recent > 0
+            and view.machine != fast
+            and node_available(view, fast)
+        ):
+            return Decision(fast, "shed-overload")
         # Upgrade: the predicted tail on the current machine breaches
         # the SLO and the fast machine would actually fix it (its
         # predicted tail, plus the hand-off blackout spread over the
         # queue, comes out lower).
-        if view.machine != fast:
+        if view.machine != fast and node_available(view, fast):
             here = predicted_tail_s(view, view.machine)
             there = predicted_tail_s(view, fast) + view.blackout_s
             if here > view.slo_s and there < here:
@@ -154,7 +191,11 @@ class LatencyAwareServing(ServingPolicy):
         # a stable trough — queue empty, utilisation low, predicted
         # tail clears the SLO with headroom — and never while a flash
         # crowd is building (rising arrival rate defers the blackout).
-        if view.machine != slow and view.since_commit_s >= self.cooldown_s:
+        if (
+            view.machine != slow
+            and view.since_commit_s >= self.cooldown_s
+            and node_available(view, slow)
+        ):
             rho_slow = view.rate * view.service_s[slow]
             tail_ok = (
                 predicted_tail_s(view, slow)

@@ -28,7 +28,18 @@ import time
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
-from repro.serving import ServingEngine, make_serving_policy, make_trace  # noqa: E402
+from repro.faults import (  # noqa: E402
+    DetectorConfig,
+    FailureDetector,
+    FaultSchedule,
+    NodeCrash,
+)
+from repro.serving import (  # noqa: E402
+    ServingEngine,
+    default_resilience,
+    make_serving_policy,
+    make_trace,
+)
 from repro.sim.rng import DeterministicRng  # noqa: E402
 
 BASELINE = ROOT / "BENCH_serving.json"
@@ -41,6 +52,15 @@ SWEEP = [
     ("diurnal", {"peak_to_trough": 6.0, "periods": 2.0}),
 ]
 POLICIES = ("static-x86", "static-arm", "queue-reactive", "latency-aware")
+
+#: Faulted cells: the same flash crowd with the surge host crashing
+#: mid-surge (detector-driven failover), bare vs resilient.  Keyed
+#: ``faulted/<mode>`` so the fault-free cells above keep their exact
+#: historical keys and values.
+FAULT_CRASH_AT = 8.5  # mid-surge, after the policy moved to x86
+FAULT_REPAIR_S = 5.0
+FAULT_NODE = "x86-server"
+FAULT_MODES = ("failover-only", "resilient")
 
 
 def run_sweep():
@@ -77,6 +97,44 @@ def run_sweep():
                 ),
                 "energy_joules": round(result.total_energy, 3),
             }
+    for mode in FAULT_MODES:
+        trace = make_trace(
+            "flash-crowd", DeterministicRng(SEED), requests=REQUESTS
+        )
+        engine = ServingEngine(
+            make_serving_policy("latency-aware"), trace, slo_s=SLO_S,
+            faults=FaultSchedule([
+                NodeCrash(
+                    time=FAULT_CRASH_AT, node=FAULT_NODE,
+                    repair_seconds=FAULT_REPAIR_S,
+                )
+            ]),
+            detector=FailureDetector(DetectorConfig()),
+            resilience=(
+                default_resilience(SLO_S) if mode == "resilient" else None
+            ),
+            rng=DeterministicRng(SEED),
+        )
+        start = time.perf_counter()
+        result = engine.run()
+        wall += time.perf_counter() - start
+        simulated_requests += result.requests_completed
+        facts[f"faulted/{mode}"] = {
+            "trace_checksum": trace.checksum(),
+            "requests": result.requests,
+            "completed": result.requests_completed,
+            "shed": result.requests_shed,
+            "failed": result.requests_failed,
+            "retried": result.requests_retried,
+            "hedged": result.requests_hedged,
+            "failovers": result.failovers,
+            "mttd_ms": round(result.mttd * 1e3, 3),
+            "goodput_rps": round(result.goodput_rps, 3),
+            "slo_attainment": round(result.slo_attainment, 6),
+            "slo_violation_seconds": round(
+                result.slo_violation_seconds, 6
+            ),
+        }
     throughput = {
         "wall_seconds": round(wall, 3),
         "simulated_requests": simulated_requests,
