@@ -218,6 +218,58 @@ def build_parser() -> argparse.ArgumentParser:
                        "tail-latency hedging, circuit breakers, and "
                        "priority-class load shedding (docs/serving.md)")
 
+    fleet = sub.add_parser(
+        "fleet", help="warehouse-scale fleet simulation: migrate a "
+        "service population across the ISA boundary in waves "
+        "(see docs/fleet.md)")
+    fleet.add_argument("--x86-nodes", type=int, default=8, metavar="N",
+                       help="x86-64 node count")
+    fleet.add_argument("--arm-nodes", type=int, default=8, metavar="N",
+                       help="arm64 node count")
+    fleet.add_argument("--slots", type=int, default=4, metavar="N",
+                       help="service slots per node")
+    fleet.add_argument("--services", type=int, default=24, metavar="N",
+                       help="size of the migrating service population")
+    fleet.add_argument("--jobs", type=int, default=2000, metavar="N",
+                       help="total jobs in the arrival trace")
+    fleet.add_argument("--traffic", default="steady",
+                       choices=("steady", "diurnal", "flash-crowd"),
+                       help="arrival-trace shape (see docs/serving.md)")
+    fleet.add_argument("--horizon", type=float, default=900.0, metavar="S",
+                       help="trace horizon in simulated seconds")
+    fleet.add_argument("--seed", type=int, default=42,
+                       help="run seed (same seed = bit-identical result)")
+    fleet.add_argument("--canary", type=float, default=0.05, metavar="F",
+                       help="first-wave (canary) fraction of services")
+    fleet.add_argument("--ramp", default="0.25,0.5,1.0", metavar="F,F,...",
+                       help="cumulative migrated fractions per wave")
+    fleet.add_argument("--wave-interval", type=float, default=120.0,
+                       metavar="S", help="seconds between wave slots")
+    fleet.add_argument("--bake", type=float, default=60.0, metavar="S",
+                       help="warm-up before the canary (sets the SLO "
+                       "baseline the regression gate compares against)")
+    fleet.add_argument("--regression-threshold", type=float, default=0.05,
+                       metavar="F", help="pause waves when SLO attainment "
+                       "drops this far below the baked baseline")
+    fleet.add_argument("--slo-factor", type=float, default=8.0, metavar="F",
+                       help="latency SLO as a multiple of each service's "
+                       "source-ISA duration")
+    fleet.add_argument("--direction", default="x86-to-arm",
+                       choices=("x86-to-arm", "arm-to-x86"),
+                       help="which way the wave migrates")
+    fleet.add_argument("--crash", type=int, default=None, metavar="IDX",
+                       help="crash fleet node IDX mid-run (evacuate-live "
+                       "failover; repairs after --repair-after)")
+    fleet.add_argument("--crash-at", type=float, default=None, metavar="T",
+                       help="crash time (default: 40%% of the horizon)")
+    fleet.add_argument("--repair-after", type=float, default=None,
+                       metavar="T", help="repair delay (default: 30%% of "
+                       "the horizon)")
+    fleet.add_argument("--nested", action="store_true",
+                       help="price service durations by running each "
+                       "(workload, ISA) pair on a real nested "
+                       "PopcornSystem instead of the analytic model")
+
     chaos = sub.add_parser(
         "chaos", help="deterministic crash-point enumeration over the "
         "two-phase migration and hDSM recovery protocols")
@@ -825,6 +877,81 @@ def cmd_chaos(args) -> int:
     return 1 if violations else 0
 
 
+def cmd_fleet(args) -> int:
+    from repro.fleet import (
+        FleetConfig,
+        FleetSimulator,
+        WavePolicy,
+        node_name,
+        render_result,
+    )
+    from repro.serving.traffic import make_trace
+    from repro.sim.rng import DeterministicRng
+
+    if args.direction == "x86-to-arm":
+        source, target = "x86-64", "arm64"
+    else:
+        source, target = "arm64", "x86-64"
+    try:
+        config = FleetConfig(
+            nodes={"x86-64": args.x86_nodes, "arm64": args.arm_nodes},
+            slots_per_node=args.slots,
+            services=args.services,
+            source_isa=source,
+            target_isa=target,
+            slo_factor=args.slo_factor,
+        )
+        config.validate()
+        ramp = tuple(float(f) for f in args.ramp.split(",") if f.strip())
+        policy = WavePolicy(
+            canary_fraction=args.canary,
+            ramp=ramp,
+            wave_interval_s=args.wave_interval,
+            bake_s=args.bake,
+            regression_threshold=args.regression_threshold,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    faults = None
+    if args.crash is not None:
+        from repro.faults import FaultSchedule, NodeCrash
+
+        crash_at = (
+            args.crash_at if args.crash_at is not None
+            else 0.4 * args.horizon
+        )
+        repair = (
+            args.repair_after if args.repair_after is not None
+            else 0.3 * args.horizon
+        )
+        faults = FaultSchedule([
+            NodeCrash(
+                time=crash_at, node=node_name(args.crash),
+                repair_seconds=repair,
+            )
+        ])
+    nested = None
+    if args.nested:
+        from repro.datacenter.nested import NestedNodeSampler
+
+        nested = NestedNodeSampler()
+    rng = DeterministicRng(args.seed)
+    sim = FleetSimulator(config, policy, rng, faults=faults, nested=nested)
+    trace = make_trace(
+        args.traffic, rng, requests=args.jobs, horizon_s=args.horizon
+    )
+    result = sim.run(trace)
+    print(render_result(result))
+    from repro import validate
+
+    if validate.enabled():
+        from repro.telemetry.validation import default_log
+
+        print(f"\ninvariant checks: {default_log().summary()}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.validate or args.validate_roundtrip:
@@ -844,6 +971,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "schedule": cmd_schedule,
         "faults": cmd_faults,
         "serve": cmd_serve,
+        "fleet": cmd_fleet,
         "chaos": cmd_chaos,
     }[args.command]
     try:

@@ -30,6 +30,7 @@ from repro.datacenter.policies import (
 )
 from repro.datacenter.cluster import ClusterSimulator, MachineNode
 from repro.datacenter.energy import RunResult, summarize_runs
+from repro.datacenter.nested import NestedNodeSampler
 
 __all__ = [
     "JobSpec",
@@ -49,6 +50,7 @@ __all__ = [
     "make_policy",
     "ClusterSimulator",
     "MachineNode",
+    "NestedNodeSampler",
     "RunResult",
     "summarize_runs",
 ]

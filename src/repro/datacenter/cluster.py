@@ -16,10 +16,18 @@ Energy integrates each machine's *internal* (on-package) power between
 events, as the paper reports ("we only report internal power
 readings"), with the McPAT FinFET projection optionally applied to the
 ARM board.  A crashed node draws no power until repaired.
+
+Since the DES unification the simulator runs on the shared
+:mod:`repro.sim` substrate — a :class:`~repro.sim.clock.Clock` plus a
+:class:`~repro.sim.events.EventQueue` — the same primitives the kernel
+testbed charges time to.  A cluster run can therefore share its clock
+with nested :class:`~repro.kernel.kernel.PopcornSystem` instances
+(see :mod:`repro.datacenter.nested`): sampled nodes measure job
+durations by actually executing the workload's binary on a real
+replicated-kernel testbed while the remaining nodes run on the
+analytic cost summaries.
 """
 
-import heapq
-import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
@@ -30,9 +38,12 @@ from repro.datacenter.policies import SchedulingPolicy
 from repro.linker.layout import PAGE_SIZE
 from repro.machine.machine import Machine
 from repro.machine.mcpat import project_finfet
+from repro.sim.clock import Clock
+from repro.sim.events import Simulator
 from repro.telemetry.faultlog import FaultLog
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.datacenter.nested import NestedNodeSampler
     from repro.faults.detector import FailureDetector
     from repro.faults.inject import FaultSchedule
     from repro.faults.recovery import RecoveryPolicy
@@ -109,6 +120,9 @@ class ClusterSimulator:
         detector: Optional["FailureDetector"] = None,
         two_phase: Optional[bool] = None,
         tracer=None,
+        clock: Optional[Clock] = None,
+        nested: Optional["NestedNodeSampler"] = None,
+        nested_nodes: Tuple[str, ...] = (),
     ):
         if not machines:
             raise ValueError("cluster needs at least one machine")
@@ -129,12 +143,31 @@ class ClusterSimulator:
         }
         if len(self._node_index) != len(self.nodes):
             raise ValueError("machine names must be unique")
+        # Live-node list, rebuilt only on up/down transitions so the
+        # per-event admission/rebalance path allocates nothing.
+        self._live_cache: Optional[List[MachineNode]] = None
         self.policy = policy
         self.interconnect_bw = interconnect_bw
-        self.now = 0.0
+        # The unified DES substrate: simulated time lives in a shared
+        # repro.sim Clock and fault/protocol events in its EventQueue,
+        # so cluster runs and nested kernel testbeds tick on the same
+        # primitives.  ``now`` is a read-only view of the clock.
+        self._sim = Simulator(clock)
         self.migrations = 0
         self._durations: Dict[Tuple[JobSpec, str], float] = {}
         self.finished: List[Job] = []
+        # Nested-node sampling: jobs landing on these nodes take their
+        # duration from a real PopcornSystem execution instead of the
+        # analytic summary (repro.datacenter.nested).
+        self.nested = nested
+        self._nested_nodes = frozenset(nested_nodes)
+        if self._nested_nodes and self.nested is None:
+            from repro.datacenter.nested import NestedNodeSampler
+
+            self.nested = NestedNodeSampler()
+        unknown = self._nested_nodes - set(self._node_index)
+        if unknown:
+            raise ValueError(f"nested_nodes name unknown nodes {sorted(unknown)}")
 
         # ---- fault machinery (inert when no schedule is attached) ----
         self.recovery = recovery
@@ -145,8 +178,6 @@ class ClusterSimulator:
         if self.recovery is not None:
             self.recovery.reset()
         self.fault_log = FaultLog()
-        self._event_seq = itertools.count()
-        self._event_heap: List[Tuple[float, int, str, object]] = []
         if faults is not None:
             for event in faults:
                 self._push_event(event.time, event.kind, event)
@@ -190,10 +221,26 @@ class ClusterSimulator:
 
     # --------------------------------------------------------- plumbing
 
+    @property
+    def now(self) -> float:
+        """Current simulated time (the shared ``sim`` clock's view)."""
+        return self._sim.now
+
+    @property
+    def clock(self) -> Clock:
+        """The run's :class:`~repro.sim.clock.Clock` (shareable with
+        nested kernel testbeds and fleet-level simulators)."""
+        return self._sim.clock
+
     def _duration(self, spec: JobSpec, node: MachineNode) -> float:
         key = (spec, node.name)
         if key not in self._durations:
-            self._durations[key] = job_duration(spec, node.machine)
+            if node.name in self._nested_nodes:
+                self._durations[key] = self.nested.duration(
+                    spec, node.machine.isa.name
+                )
+            else:
+                self._durations[key] = job_duration(spec, node.machine)
         return self._durations[key]
 
     # Public alias for the recovery policies.
@@ -206,7 +253,15 @@ class ClusterSimulator:
         return node
 
     def live_nodes(self) -> List[MachineNode]:
-        return [n for n in self.nodes if n.up]
+        """The up nodes, in declaration order (cached between
+        up/down transitions; callers must not mutate the list)."""
+        if self._live_cache is None:
+            self._live_cache = [n for n in self.nodes if n.up]
+        return self._live_cache
+
+    def _node_up_changed(self) -> None:
+        """Invalidate the live-node cache (a node came up / went down)."""
+        self._live_cache = None
 
     def reachable(self, a: str, b: str) -> bool:
         """Can kernels on ``a`` and ``b`` exchange messages right now?"""
@@ -261,7 +316,7 @@ class ClusterSimulator:
                 demand = self._duration(job.spec, node) * denom_base
                 job.remaining_fraction -= dt / demand
             self.busy_seconds += dt * len(node.jobs)
-        self.now += dt
+        self._sim.clock.advance_by(dt)
 
     def _collect_finished(self) -> List[Job]:
         done: List[Job] = []
@@ -325,21 +380,31 @@ class ClusterSimulator:
     # ------------------------------------------------- fault machinery
 
     def _push_event(self, time: float, kind: str, payload: object) -> None:
-        heapq.heappush(
-            self._event_heap, (time, next(self._event_seq), kind, payload)
+        # Events land on the shared sim.events queue; ordering is
+        # (time, push-sequence), exactly the pre-unification heap's
+        # tie-break, so runs stay bit-identical.  The kind travels in
+        # the event name and the dispatch closure carries the payload.
+        self._sim.queue.push(
+            time,
+            lambda kind=kind, payload=payload: self._dispatch_fault(
+                kind, payload
+            ),
+            name=kind,
         )
 
     def _next_fault_dt(self) -> Optional[float]:
-        while self._event_heap:
-            head = self._event_heap[0]
-            if head[2] == "hb" and not self._heartbeats_matter():
+        queue = self._sim.queue
+        while True:
+            head = queue.peek()
+            if head is None:
+                return None
+            if head.name == "hb" and not self._heartbeats_matter():
                 # Nothing left that a heartbeat round could detect or
                 # unblock: let the recurring chain die so quiescent
                 # runs terminate instead of ticking forever.
-                heapq.heappop(self._event_heap)
+                queue.pop()
                 continue
-            return max(head[0] - self.now, 0.0)
-        return None
+            return max(head.time - self.now, 0.0)
 
     def _heartbeats_matter(self) -> bool:
         if self._undetected or self._in_flight or self._fenced_alive:
@@ -347,14 +412,16 @@ class ClusterSimulator:
         if self.detector is not None and self.detector.pending():
             return True
         # Any scheduled non-heartbeat event can still create suspicions.
-        return any(kind != "hb" for _, _, kind, _ in self._event_heap)
+        return any(e.name != "hb" for e in self._sim.queue.live())
 
     def _apply_due_faults(self) -> bool:
         """Dispatch every fault event due at (or before) ``now``."""
         applied = False
-        while self._event_heap and self._event_heap[0][0] <= self.now + 1e-9:
-            _, _, kind, payload = heapq.heappop(self._event_heap)
-            self._dispatch_fault(kind, payload)
+        while True:
+            event = self._sim.queue.pop_due(self.now + 1e-9)
+            if event is None:
+                break
+            event.action()
             applied = True
         if applied and self._in_flight:
             self._pump_handoffs()
@@ -438,6 +505,7 @@ class ClusterSimulator:
             )
             return
         node.up = False
+        self._node_up_changed()
         self._crash_since[node.name] = self.now
         detail = (
             "permanent"
@@ -467,6 +535,7 @@ class ClusterSimulator:
         if node.up:
             return
         node.up = True
+        self._node_up_changed()
         crashed_at = self._crash_since.pop(name, None)
         if crashed_at is not None:
             self._mttr_samples.append(self.now - crashed_at)
@@ -557,6 +626,7 @@ class ClusterSimulator:
             # the verdict safe — the node stops acting until it rejoins —
             # at the price of treating its jobs as crashed.
             node.up = False
+            self._node_up_changed()
             self._fenced_alive.add(name)
             victims = node.jobs
             node.jobs = []
@@ -588,6 +658,7 @@ class ClusterSimulator:
     def _rejoin(self, name: str) -> None:
         node = self._node_index[name]
         node.up = True
+        self._node_up_changed()
         self._fenced_alive.discard(name)
         if self.detector is not None:
             self.detector.clear(name, self.now)

@@ -1,0 +1,44 @@
+"""Warehouse-scale fleet simulation (ROADMAP item 1).
+
+Scales the paper's two-server story to the datacenter: thousands of
+mixed-ISA nodes, millions of jobs, and a *migration wave* moving a
+service population from one ISA to the other under canary/ramp/pause
+policies — the scenario of fleet-level ISA migrations (see PAPERS.md)
+with this paper's migration-cost model charged per wave.
+
+Layers: :mod:`repro.fleet.model` (flat per-node structs + shared
+per-ISA templates), :mod:`repro.fleet.waves` (wave policies),
+:mod:`repro.fleet.simulator` (the analytic-completion DES), and
+:mod:`repro.fleet.report` (rendered rollups).  See docs/fleet.md.
+"""
+
+from repro.fleet.model import (
+    FleetConfig,
+    FleetNode,
+    NodeTemplate,
+    ServiceInstance,
+    node_name,
+    parse_node_name,
+)
+from repro.fleet.report import render_result
+from repro.fleet.simulator import (
+    DEFAULT_SERVICE_MIX,
+    FleetRunResult,
+    FleetSimulator,
+)
+from repro.fleet.waves import WavePolicy, WaveReport
+
+__all__ = [
+    "FleetConfig",
+    "FleetNode",
+    "NodeTemplate",
+    "ServiceInstance",
+    "node_name",
+    "parse_node_name",
+    "WavePolicy",
+    "WaveReport",
+    "FleetSimulator",
+    "FleetRunResult",
+    "DEFAULT_SERVICE_MIX",
+    "render_result",
+]

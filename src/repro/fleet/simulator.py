@@ -1,0 +1,603 @@
+"""The warehouse-scale fleet simulator.
+
+Runs a mixed-ISA fleet of thousands of nodes serving millions of jobs
+while a wave policy migrates the service population from one ISA to the
+other.  The simulator composes three existing layers:
+
+* the unified DES (:mod:`repro.sim`) carries the *sparse* events —
+  wave slots and fault-plane events — on one ``(time, seq)`` queue;
+* job completions are *analytic*: each service is a single-server FIFO
+  whose completion time is computed at arrival
+  (``start = max(arrival, free_at)``), so a million jobs cost a million
+  flat-struct updates instead of a million heap events;
+* costs come from the node layer's models — durations from
+  :func:`repro.datacenter.job.job_duration` (or nested PopcornSystem
+  measurements via :class:`repro.datacenter.nested.NestedNodeSampler`),
+  migration stalls from :func:`repro.datacenter.job.migration_penalty`,
+  energy from the per-ISA power models.
+
+Fault semantics are *evacuate-live*, matching the paper's value
+proposition: a crash never discards completed work; the crashed node's
+services fail over to free slots (same ISA first, then cross-ISA — the
+heterogeneous-ISA failover the paper enables) and pay the migration
+cost.  ``LinkDegradation`` scales the migration bandwidth while its
+window is open; ``NetworkPartition`` is rejected — the analytic queue
+model cannot represent a service reachable from only part of the
+fleet.
+"""
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datacenter.job import JobSpec
+from repro.faults.inject import FaultSchedule
+from repro.fleet.model import (
+    FleetConfig,
+    FleetNode,
+    NodeTemplate,
+    ServiceInstance,
+    parse_node_name,
+    service_migration_cost,
+)
+from repro.fleet.waves import WavePolicy, WaveReport, plan_counts
+from repro.serving.traffic import ArrivalTrace
+from repro.sim.events import Simulator
+from repro.sim.rng import DeterministicRng
+from repro.telemetry.metrics import percentiles
+
+#: Default service population mix: the serving-adjacent benchmarks.
+DEFAULT_SERVICE_MIX: Tuple[JobSpec, ...] = (
+    JobSpec("is", "A", 2),
+    JobSpec("ep", "A", 2),
+    JobSpec("cg", "A", 2),
+    JobSpec("redis", "A", 2),
+)
+
+
+@dataclass
+class FleetRunResult:
+    """Everything one fleet-migration-wave run produced."""
+
+    seed: int
+    nodes_by_isa: Dict[str, int]
+    services: int
+    horizon_s: float
+    makespan: float
+    # ---- jobs ----
+    jobs_offered: int
+    jobs_completed: int
+    jobs_shed: int  # arrivals for a service stranded by a full fleet
+    # ---- latency / SLO ----
+    p50_latency_s: float
+    p99_latency_s: float
+    p999_latency_s: float
+    slo_violations: int
+    slo_attainment: float
+    # ---- migration waves ----
+    waves: List[WaveReport]
+    services_migrated: int
+    migrations: int  # wave migrations + evacuations
+    migration_stall_seconds: float
+    paused_waves: int
+    deferred_migrations: int
+    # ---- per-ISA rollups ----
+    jobs_by_isa: Dict[str, int]
+    busy_core_seconds_by_isa: Dict[str, float]
+    energy_by_isa: Dict[str, float]
+    capacity_slots_by_isa: Dict[str, int]
+    # ---- fault plane ----
+    crashes: int = 0
+    repairs: int = 0
+    evacuations: int = 0
+    failovers: int = 0  # cross-ISA evacuations
+    stranded_services: int = 0  # left unplaced at end of run
+
+    @property
+    def total_energy(self) -> float:
+        """Whole-fleet on-package energy over the run (joules)."""
+        return sum(self.energy_by_isa.values())
+
+    def checksum(self) -> str:
+        """Content digest of the run (bit-identity and bench baselines).
+
+        Formats every float with ``repr`` (shortest round-trip form),
+        so two runs agree iff their results are bit-identical.
+        """
+        parts = [
+            repr(self.seed),
+            repr(sorted(self.nodes_by_isa.items())),
+            repr(self.services),
+            repr(self.makespan),
+            repr(self.jobs_offered),
+            repr(self.jobs_completed),
+            repr(self.jobs_shed),
+            repr(self.p50_latency_s),
+            repr(self.p99_latency_s),
+            repr(self.p999_latency_s),
+            repr(self.slo_violations),
+            repr(self.services_migrated),
+            repr(self.migrations),
+            repr(self.migration_stall_seconds),
+            repr(self.paused_waves),
+            repr(sorted(self.jobs_by_isa.items())),
+            repr(sorted(self.energy_by_isa.items())),
+            repr(self.crashes),
+            repr(self.evacuations),
+            repr(self.failovers),
+        ]
+        digest = hashlib.sha256("|".join(parts).encode())
+        return digest.hexdigest()[:16]
+
+
+class FleetSimulator:
+    """Drives one fleet through arrivals, waves and faults."""
+
+    def __init__(
+        self,
+        config: FleetConfig,
+        policy: WavePolicy,
+        rng: DeterministicRng,
+        faults: Optional[FaultSchedule] = None,
+        service_mix: Sequence[JobSpec] = DEFAULT_SERVICE_MIX,
+        nested=None,
+    ):
+        config.validate()
+        self.config = config
+        self.policy = policy
+        self.rng = rng
+        self.faults = faults if faults is not None else FaultSchedule()
+
+        self.templates: Dict[str, NodeTemplate] = {
+            isa: NodeTemplate(isa, config.project_arm_finfet)
+            for isa in config.nodes
+        }
+        if nested is not None:
+            # Replace analytic durations with nested-PopcornSystem
+            # measurements for every (service spec, ISA) pair.
+            for isa, template in self.templates.items():
+                for spec in sorted(set(service_mix), key=str):
+                    template.set_duration(spec, nested.duration(spec, isa))
+
+        # Flat per-node structs, indexed globally; free capacity is a
+        # per-ISA stack of node indices (one entry per free slot), so
+        # placement, migration and failover are O(1) pool pops with no
+        # per-event scan over the fleet.
+        self.nodes: List[FleetNode] = []
+        self._free_slots: Dict[str, List[int]] = {isa: [] for isa in config.nodes}
+        for isa, count in config.nodes.items():
+            for _ in range(count):
+                idx = len(self.nodes)
+                self.nodes.append(FleetNode(idx, isa))
+        # Reversed so pops hand out low node indices first.
+        for node in reversed(self.nodes):
+            self._free_slots[node.isa].extend([node.idx] * config.slots_per_node)
+
+        self._check_fault_names()
+
+        self.services: List[ServiceInstance] = []
+        for sid in range(config.services):
+            spec = service_mix[sid % len(service_mix)]
+            idx = self._take_slot(config.source_isa)
+            if idx is None:  # config.validate() makes this unreachable
+                raise RuntimeError("source ISA out of slots during placement")
+            inst = ServiceInstance(sid, spec, idx, config.source_isa)
+            self.nodes[idx].instances.append(sid)
+            self.services.append(inst)
+
+        # Per-service SLO target (slo_factor x source-ISA duration) and
+        # per-ISA duration tables, both indexed by sid so the hot
+        # arrival path is two list lookups.
+        src = self.templates[config.source_isa]
+        self._slo_by_sid = [
+            config.slo_factor * src.duration(inst.spec) for inst in self.services
+        ]
+        self._durations_by_sid: Dict[str, List[float]] = {
+            isa: [t.duration(inst.spec) for inst in self.services]
+            for isa, t in self.templates.items()
+        }
+
+        # ---- run state ----
+        self._sim = Simulator()
+        self._bw_factor = 1.0
+        self._migrate_cursor = 0  # next sid to migrate (sid order)
+        self._migrated_count = 0
+        self._ramp_step = 0
+        self._baseline_attainment: Optional[float] = None
+        self._window_offered = 0
+        self._window_in_slo = 0
+        self._stranded: List[int] = []  # sids awaiting a free slot
+        self._latencies: List[float] = []
+        self._makespan = 0.0
+        self._counters = {
+            "offered": 0,
+            "completed": 0,
+            "shed": 0,
+            "violations": 0,
+            "in_slo": 0,
+            "migrations": 0,
+            "crashes": 0,
+            "repairs": 0,
+            "evacuations": 0,
+            "failovers": 0,
+            "deferred": 0,
+        }
+        self._jobs_by_isa = {isa: 0 for isa in config.nodes}
+        self._stall_seconds = 0.0
+        self.waves: List[WaveReport] = []
+        from repro import validate
+
+        self._checker = validate.make_fleet_checker()
+
+    # ------------------------------------------------------------ setup
+
+    def _check_fault_names(self) -> None:
+        total = len(self.nodes)
+        for event in self.faults:
+            if event.kind == "partition":
+                raise ValueError(
+                    "NetworkPartition is not supported by the fleet "
+                    "simulator: analytic FIFO services have no notion of "
+                    "partial reachability.  Use LinkDegradation (slower "
+                    "migrations) or NodeCrash (lost capacity) instead."
+                )
+            if event.kind in ("crash", "repair"):
+                idx = parse_node_name(event.node)
+                if idx is None or not 0 <= idx < total:
+                    raise ValueError(
+                        f"fault names unknown fleet node {event.node!r}; "
+                        f"fleet nodes are named node-0 .. node-{total - 1}"
+                    )
+
+    def _take_slot(self, isa: str) -> Optional[int]:
+        """Pop a free slot's node index, skipping slots on dead nodes.
+
+        The crash handler purges the dead node's pool entries eagerly
+        (a repair re-adds the right count, so stale entries must not
+        linger); the liveness check here is a safety net, not the
+        primary mechanism.
+        """
+        pool = self._free_slots[isa]
+        while pool:
+            idx = pool.pop()
+            if self.nodes[idx].alive:
+                return idx
+        return None
+
+    # ------------------------------------------------------------- jobs
+
+    def _handle_job(self, t: float, sid: int) -> None:
+        inst = self.services[sid]
+        node = self.nodes[inst.node_idx]
+        if not node.alive:
+            # Stranded service (its node died with the fleet full).
+            self._counters["shed"] += 1
+            self._window_offered += 1
+            return
+        duration = self._durations_by_sid[inst.isa][sid]
+        start = inst.free_at if inst.free_at > t else t
+        done = start + duration
+        inst.free_at = done
+        inst.jobs_done += 1
+        inst.busy_seconds += duration
+        cores = min(inst.spec.threads, self.templates[inst.isa].cores)
+        busy = duration * cores
+        inst.busy_core_seconds += busy
+        node.busy_core_seconds += busy
+        self._jobs_by_isa[inst.isa] += 1
+        latency = done - t
+        self._latencies.append(latency)
+        in_slo = latency <= self._slo_by_sid[sid]
+        if in_slo:
+            inst.jobs_in_slo += 1
+            self._counters["in_slo"] += 1
+        else:
+            self._counters["violations"] += 1
+        self._counters["completed"] += 1
+        self._window_offered += 1
+        self._window_in_slo += in_slo
+        if done > self._makespan:
+            self._makespan = done
+
+    # ------------------------------------------------------------ waves
+
+    def _move_service(self, sid: int, t: float, target_isa: str) -> bool:
+        """Move one service to a free slot on ``target_isa``.
+
+        Pays the migration stall, returns the old slot to its pool
+        (unless the old node is dead), and keeps node membership lists
+        consistent.  False when the target ISA has no free slot.
+        """
+        inst = self.services[sid]
+        idx = self._take_slot(target_isa)
+        if idx is None:
+            return False
+        old = self.nodes[inst.node_idx]
+        old.instances.remove(sid)
+        if old.alive:
+            self._free_slots[old.isa].append(inst.node_idx)
+        cost = service_migration_cost(
+            inst.spec, self.config.interconnect_bw * self._bw_factor
+        )
+        base = inst.free_at if inst.free_at > t else t
+        inst.free_at = base + cost
+        inst.stall_seconds += cost
+        inst.migrations += 1
+        inst.node_idx = idx
+        inst.isa = target_isa
+        self.nodes[idx].instances.append(sid)
+        self._stall_seconds += cost
+        self._counters["migrations"] += 1
+        return True
+
+    def _handle_wave(self, t: float) -> None:
+        plan = plan_counts(self.policy.targets(), self.config.services)
+        if self._ramp_step >= len(plan):
+            return  # ramp finished; later slots are no-ops
+        attainment = (
+            self._window_in_slo / self._window_offered
+            if self._window_offered
+            else 1.0
+        )
+        if self._baseline_attainment is None:
+            # The first slot closes the bake window: it defines the
+            # pre-migration SLO baseline the regression gate compares
+            # against.
+            self._baseline_attainment = attainment
+        gate = self._baseline_attainment - self.policy.regression_threshold
+        paused = attainment < gate
+        moved = 0
+        deferred = 0
+        stall_before = self._stall_seconds
+        target_count = plan[self._ramp_step]
+        if not paused:
+            while self._migrated_count < target_count:
+                if self._migrate_cursor >= len(self.services):
+                    break
+                sid = self._migrate_cursor
+                inst = self.services[sid]
+                if inst.isa == self.config.target_isa:
+                    # Already there (cross-ISA failover beat the wave).
+                    inst.migrated = True
+                    self._migrate_cursor += 1
+                    self._migrated_count += 1
+                    continue
+                if self._move_service(sid, t, self.config.target_isa):
+                    inst.migrated = True
+                    self._migrate_cursor += 1
+                    self._migrated_count += 1
+                    moved += 1
+                else:
+                    deferred = target_count - self._migrated_count
+                    self._counters["deferred"] += deferred
+                    break
+            if self._migrated_count >= target_count:
+                # Slot done; paused or capacity-deferred slots retry the
+                # same ramp step at the next slot.
+                self._ramp_step += 1
+        self.waves.append(
+            WaveReport(
+                index=len(self.waves) + 1,
+                time=t,
+                target_fraction=self.policy.targets()[
+                    min(self._ramp_step, len(plan) - 1)
+                ],
+                migrated=moved,
+                cumulative_migrated=self._migrated_count,
+                paused=paused,
+                attainment_before=attainment,
+                baseline_attainment=self._baseline_attainment,
+                stall_seconds=self._stall_seconds - stall_before,
+                deferred=deferred,
+            )
+        )
+        self._window_offered = 0
+        self._window_in_slo = 0
+        if self._checker is not None:
+            self._checker.check(self, f"wave@{t:.0f}")
+
+    # ----------------------------------------------------------- faults
+
+    def _handle_crash(self, t: float, event) -> None:
+        idx = parse_node_name(event.node)
+        node = self.nodes[idx]
+        if not node.alive:
+            return
+        node.alive = False
+        node.down_since = t
+        self._counters["crashes"] += 1
+        # Purge the dead node's free-slot entries now: the repair
+        # handler re-derives the node's free count from its instance
+        # list, so entries left behind here would double-count the
+        # node's capacity after it comes back.
+        pool = self._free_slots[node.isa]
+        if idx in pool:
+            self._free_slots[node.isa] = [i for i in pool if i != idx]
+        # Evacuate-live: completed work is preserved; each resident
+        # service fails over to a free slot — same ISA first, then the
+        # other ISAs (heterogeneous-ISA failover) — paying the
+        # migration cost.  With the fleet full it is stranded until a
+        # repair frees capacity.
+        for sid in list(node.instances):
+            inst = self.services[sid]
+            if self._move_service(sid, t, inst.isa):
+                self._counters["evacuations"] += 1
+                continue
+            moved = False
+            for isa in self.templates:
+                if isa == inst.isa:
+                    continue
+                if self._move_service(sid, t, isa):
+                    self._counters["evacuations"] += 1
+                    self._counters["failovers"] += 1
+                    moved = True
+                    break
+            if not moved:
+                self._stranded.append(sid)
+        if not getattr(event, "permanent", False):
+            self._sim.queue.push(
+                t + event.repair_seconds,
+                lambda i=idx: self._handle_repair(i),
+                name="repair",
+            )
+        if self._checker is not None:
+            self._checker.check(self, f"crash@{t:.0f}")
+
+    def _handle_repair(self, idx: int) -> None:
+        node = self.nodes[idx]
+        if node.alive:
+            return
+        t = self._sim.now
+        node.alive = True
+        node.downtime_s += t - node.down_since
+        node.down_since = -1.0
+        self._counters["repairs"] += 1
+        free = self.config.slots_per_node - len(node.instances)
+        self._free_slots[node.isa].extend([idx] * free)
+        # Re-place services stranded by a full fleet.  A stranded
+        # service still sits in its dead node's instance list, so if
+        # *this* repair is its own home node coming back it simply
+        # resumes in place; otherwise it needs a free slot somewhere.
+        still: List[int] = []
+        for sid in self._stranded:
+            inst = self.services[sid]
+            if self.nodes[inst.node_idx].alive:
+                continue
+            if self._move_service(sid, t, inst.isa):
+                self._counters["evacuations"] += 1
+            else:
+                still.append(sid)
+        self._stranded = still
+        if self._checker is not None:
+            self._checker.check(self, f"repair@{t:.0f}")
+
+    def _handle_degrade_start(self, event) -> None:
+        self._bw_factor *= event.bandwidth_factor
+        self._sim.queue.push(
+            self._sim.now + event.duration,
+            lambda e=event: self._handle_degrade_end(e),
+            name="degrade-end",
+        )
+
+    def _handle_degrade_end(self, event) -> None:
+        self._bw_factor /= event.bandwidth_factor
+
+    # -------------------------------------------------------------- run
+
+    def _schedule(self, horizon_s: float) -> None:
+        for t in self.policy.wave_times(horizon_s):
+            self._sim.queue.push(
+                t, lambda when=t: self._handle_wave(when), name="wave"
+            )
+        for event in self.faults:
+            if event.kind == "crash":
+                self._sim.queue.push(
+                    event.time,
+                    lambda e=event: self._handle_crash(e.time, e),
+                    name="crash",
+                )
+            elif event.kind == "repair":
+                self._sim.queue.push(
+                    event.time,
+                    lambda e=event: self._handle_repair(
+                        parse_node_name(e.node)
+                    ),
+                    name="repair",
+                )
+            elif event.kind == "degrade":
+                self._sim.queue.push(
+                    event.time,
+                    lambda e=event: self._handle_degrade_start(e),
+                    name="degrade",
+                )
+
+    def run(self, trace: ArrivalTrace) -> FleetRunResult:
+        """Drive the trace's arrivals through waves and faults.
+
+        Arrivals are drained from a cursor between sparse events: every
+        arrival with ``time <= next event`` is priced analytically,
+        then the event fires.  Same seed, same config ⇒ bit-identical
+        result (the checksum test relies on this).
+        """
+        self._schedule(trace.horizon_s)
+        assign = self.rng.stream("fleet.assign")
+        services = self.config.services
+        times = trace.times
+        n = len(times)
+        cursor = 0
+        queue = self._sim.queue
+        clock = self._sim.clock
+        while True:
+            head = queue.peek()
+            bound = head.time if head is not None else float("inf")
+            while cursor < n and times[cursor] <= bound:
+                t = times[cursor]
+                self._handle_job(t, assign.randrange(services))
+                cursor += 1
+            if head is None:
+                break
+            event = queue.pop()
+            clock.advance_to(event.time)
+            event.action()
+        if cursor < n:  # events ended before the trace did
+            while cursor < n:
+                t = times[cursor]
+                self._handle_job(t, assign.randrange(services))
+                cursor += 1
+        self._counters["offered"] = n
+        end = max(trace.horizon_s, self._makespan)
+        if end > clock.now:
+            clock.advance_to(end)
+        if self._checker is not None:
+            self._checker.check(self, "end")
+        return self._finish(trace, end)
+
+    def _finish(self, trace: ArrivalTrace, end: float) -> FleetRunResult:
+        c = self._counters
+        energy_by_isa = {isa: 0.0 for isa in self.config.nodes}
+        busy_by_isa = {isa: 0.0 for isa in self.config.nodes}
+        for node in self.nodes:
+            downtime = node.downtime_s
+            if node.down_since >= 0.0:
+                downtime += end - node.down_since
+            uptime = end - downtime
+            template = self.templates[node.isa]
+            energy_by_isa[node.isa] += template.energy_joules(
+                uptime, node.busy_core_seconds
+            )
+            busy_by_isa[node.isa] += node.busy_core_seconds
+        p50, p99, p999 = percentiles(self._latencies)
+        offered = c["offered"]
+        return FleetRunResult(
+            seed=self.rng.seed,
+            nodes_by_isa=dict(self.config.nodes),
+            services=self.config.services,
+            horizon_s=trace.horizon_s,
+            makespan=self._makespan,
+            jobs_offered=offered,
+            jobs_completed=c["completed"],
+            jobs_shed=c["shed"],
+            p50_latency_s=p50,
+            p99_latency_s=p99,
+            p999_latency_s=p999,
+            slo_violations=c["violations"],
+            slo_attainment=c["in_slo"] / offered if offered else 0.0,
+            waves=list(self.waves),
+            services_migrated=self._migrated_count,
+            migrations=c["migrations"],
+            migration_stall_seconds=self._stall_seconds,
+            paused_waves=sum(1 for w in self.waves if w.paused),
+            deferred_migrations=c["deferred"],
+            jobs_by_isa=dict(self._jobs_by_isa),
+            busy_core_seconds_by_isa=busy_by_isa,
+            energy_by_isa=energy_by_isa,
+            capacity_slots_by_isa={
+                isa: count * self.config.slots_per_node
+                for isa, count in self.config.nodes.items()
+            },
+            crashes=c["crashes"],
+            repairs=c["repairs"],
+            evacuations=c["evacuations"],
+            failovers=c["failovers"],
+            stranded_services=len(self._stranded),
+        )

@@ -13,7 +13,10 @@ single-environment illusion to heterogeneous OS-containers:
 * :mod:`repro.kernel.filesystem` — the replicated VFS namespace;
 * :mod:`repro.kernel.syscall` — the narrow syscall interface;
 * :mod:`repro.kernel.kernel` — the per-machine kernel and the
-  :class:`~repro.kernel.kernel.PopcornSystem` testbed driver.
+  :class:`~repro.kernel.kernel.PopcornSystem` testbed facade, which
+  delegates to :mod:`repro.kernel.lifecycle` (process/thread
+  lifecycle), :mod:`repro.kernel.recovery` (crash handling), and
+  :mod:`repro.kernel.testbed` (boot helpers).
 """
 
 from repro.kernel.messages import Message, MessagingLayer
@@ -22,7 +25,10 @@ from repro.kernel.namespaces import HeterogeneousContainer, Namespace
 from repro.kernel.filesystem import VirtualFileSystem
 from repro.kernel.dsm import DsmService, DsmStats
 from repro.kernel.loader import load_binary
-from repro.kernel.kernel import Kernel, PopcornSystem, boot_testbed
+from repro.kernel.kernel import Kernel, PopcornSystem
+from repro.kernel.lifecycle import ProcessLifecycle
+from repro.kernel.recovery import CrashRecovery
+from repro.kernel.testbed import boot_single, boot_testbed
 
 __all__ = [
     "Message",
@@ -38,5 +44,8 @@ __all__ = [
     "load_binary",
     "Kernel",
     "PopcornSystem",
+    "ProcessLifecycle",
+    "CrashRecovery",
+    "boot_single",
     "boot_testbed",
 ]

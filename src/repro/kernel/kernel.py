@@ -1,24 +1,38 @@
-"""Per-machine kernels and the replicated-kernel system driver.
+"""Per-machine kernels and the replicated-kernel system facade.
 
 A :class:`Kernel` is one natively-compiled OS instance on one machine.
-:class:`PopcornSystem` is the testbed: the set of kernels, the
-interconnect between them, the shared simulated clock, and the
-process/migration services that span kernels.  It is the object
-experiments interact with.
+:class:`PopcornSystem` is the testbed driver experiments interact with:
+the set of kernels, the interconnect between them, the shared simulated
+clock, and the process/migration services that span kernels.
+
+``PopcornSystem`` used to implement everything inline; it is now a thin
+facade over three components so per-node state stays a small struct
+when fleet simulations instantiate systems by the thousand:
+
+* :class:`repro.kernel.lifecycle.ProcessLifecycle` — pid/tid
+  allocation, exec, thread spawn, migration requests, reaping;
+* :class:`repro.kernel.recovery.CrashRecovery` — kernel crashes,
+  thread failure, migration-service resume tokens;
+* :mod:`repro.kernel.testbed` — boot helpers (:func:`boot_testbed`,
+  re-exported here for compatibility, and ``boot_single``).
+
+Every pre-split method and attribute (``exec_process``, ``processes``,
+``crash_kernel``, …) keeps working through delegation.
 """
 
 from typing import Dict, List, Optional
 
 from repro.compiler.toolchain import MultiIsaBinary
 from repro.kernel.filesystem import VirtualFileSystem
-from repro.kernel.loader import init_thread_tls, load_binary, thread_pointer_for
+from repro.kernel.lifecycle import ProcessLifecycle
 from repro.kernel.messages import MessagingLayer
 from repro.kernel.namespaces import HeterogeneousContainer
-from repro.kernel.process import KernelThreadState, Process, Thread, ThreadState
+from repro.kernel.process import Process, Thread, ThreadState
+from repro.kernel.recovery import CrashRecovery
 from repro.kernel.services import ServiceRegistry
+from repro.kernel.testbed import boot_testbed  # noqa: F401  (compat re-export)
 from repro.machine.interconnect import Interconnect, make_dolphin_pxh810
-from repro.machine.machine import Machine, make_xeon_e5_1650v2, make_xgene1
-from repro.runtime.stack import Frame, UserStack
+from repro.machine.machine import Machine
 from repro.sim.clock import Clock
 
 
@@ -96,18 +110,43 @@ class PopcornSystem:
         }
         self.vfs = VirtualFileSystem(self.messaging, self.machine_order[0])
         self.services = ServiceRegistry(self.messaging, self.machine_order)
-        self.processes: Dict[int, Process] = {}
-        self._next_pid = 1
-        self._next_tid = 1
-        # Migration services consulted during crash recovery: a thread
-        # whose context already shipped to a live destination survives
-        # its source kernel's death via the resume token.
-        self._migration_services: List = []
+        self.lifecycle = ProcessLifecycle(self)
+        self.recovery = CrashRecovery(self)
         # Opt-in dirty-page backup replication for new processes.
         self.dsm_backup = False
 
+    # --------------------------------------------- component delegation
+    #
+    # Pre-split attribute names, preserved so existing callers (and
+    # pickled checkpoints) keep working without knowing about the split.
+
+    @property
+    def processes(self) -> Dict[int, Process]:
+        """The live process table (owned by the lifecycle component)."""
+        return self.lifecycle.processes
+
+    @property
+    def _next_pid(self) -> int:
+        return self.lifecycle._next_pid
+
+    @_next_pid.setter
+    def _next_pid(self, value: int) -> None:
+        self.lifecycle._next_pid = value
+
+    @property
+    def _next_tid(self) -> int:
+        return self.lifecycle._next_tid
+
+    @_next_tid.setter
+    def _next_tid(self, value: int) -> None:
+        self.lifecycle._next_tid = value
+
+    @property
+    def _migration_services(self) -> List:
+        return self.recovery.migration_services
+
     def register_migration_service(self, service) -> None:
-        self._migration_services.append(service)
+        self.recovery.register_migration_service(service)
 
     # ----------------------------------------------------------- lookup
 
@@ -130,35 +169,7 @@ class PopcornSystem:
         argv: Optional[List[float]] = None,
     ) -> Process:
         """Load a multi-ISA binary and create its main thread."""
-        if machine_name not in self.machines:
-            raise KeyError(f"unknown machine {machine_name}")
-        if self.isa_of(machine_name) not in binary.binaries:
-            raise ValueError(
-                f"binary lacks code for {self.isa_of(machine_name)}"
-            )
-        pid = self._next_pid
-        self._next_pid += 1
-        process = load_binary(
-            binary,
-            pid,
-            machine_name,
-            self.messaging,
-            self.machine_order,
-            dsm_backup=self.dsm_backup,
-        )
-        process.container = container or HeterogeneousContainer(
-            f"ctr-{binary.module.name}-{pid}"
-        )
-        process.container.span_to(machine_name)
-        process.container.adopt(pid)
-        self.processes[pid] = process
-        self.spawn_thread(
-            process,
-            machine_name,
-            function=binary.module.entry,
-            args=list(argv or []),
-        )
-        return process
+        return self.lifecycle.exec_process(binary, machine_name, container, argv)
 
     def spawn_thread(
         self,
@@ -168,50 +179,7 @@ class PopcornSystem:
         args: List[float],
     ) -> Thread:
         """Create a thread parked at ``function``'s entry."""
-        binary = process.binary
-        if function not in binary.module.functions:
-            raise KeyError(f"no function {function} in {binary.module.name}")
-        tid = self._next_tid
-        self._next_tid += 1
-        stack_index = process.next_stack_index()
-        low, high = binary.vm_map.stack_region(stack_index)
-        stack = UserStack(low, high)
-        tp = thread_pointer_for(binary, stack_index)
-        init_thread_tls(process.space, binary, tp)
-
-        thread = Thread(tid, process, machine_name, stack, tp)
-        thread.start_function = function
-        thread.start_args = list(args)
-        isa_name = self.isa_of(machine_name)
-        mf = binary.machine_function(isa_name, function)
-        cfa = stack.top
-        thread.frames = [Frame(mf=mf, cfa=cfa)]
-        thread.pc = (mf.fn.entry, 0)
-        # Seed the register file for the current ISA.
-        thread.regs = {r.name: 0 for r in mf.isa.regfile.all()}
-        thread.regs[mf.isa.regfile.sp] = cfa - mf.frame.frame_size
-        thread.regs[mf.isa.regfile.fp] = cfa
-        # Bind start arguments into the entry function's parameter
-        # locations (register or frame slot), as the clone trampoline
-        # would.
-        for (pname, _vt), value in zip(mf.fn.params, args):
-            reg = mf.alloc.reg_assignment.get(pname)
-            if reg is not None:
-                thread.regs[reg] = value
-            else:
-                process.space.write(
-                    cfa - mf.frame.slot_depths[pname], value
-                )
-
-        process.threads[tid] = thread
-        self.kernels[machine_name].adopt_thread(thread)
-        # Publish the thread in the replicated process table so every
-        # kernel can resolve it; the registration cost is charged to
-        # the spawn syscall by the caller.
-        thread.spawn_service_cost = self.services.proctable.register_thread(
-            machine_name, process.pid, tid, machine_name
-        )
-        return thread
+        return self.lifecycle.spawn_thread(process, machine_name, function, args)
 
     # -------------------------------------------------------- migration
 
@@ -221,105 +189,25 @@ class PopcornSystem:
         Threads notice at their next migration point and migrate
         themselves — there is no stop-the-world.
         """
-        if machine_name not in self.machines:
-            raise KeyError(f"unknown machine {machine_name}")
-        for thread in process.alive_threads:
-            process.vdso.request_migration(thread.tid, machine_name)
+        self.lifecycle.request_migration(process, machine_name)
 
     def request_thread_migration(self, thread: Thread, machine_name: str) -> None:
-        thread.process.vdso.request_migration(thread.tid, machine_name)
+        self.lifecycle.request_thread_migration(thread, machine_name)
 
     # ----------------------------------------------------- crash recovery
 
     def crash_kernel(self, name: str) -> Dict[int, object]:
         """Kill kernel ``name``: fence it, kill its threads, scrub state.
 
-        Mirrors what a confirmed failure-detector verdict triggers: the
-        dead kernel is fenced off the messaging layer (it neither sends
-        nor receives), resident threads die — except those whose
-        migration transaction already shipped their context to a live
-        destination (the two-phase hand-off's resume token keeps exactly
-        one live copy) — every process's hDSM directory is scrubbed,
-        and the replicated services drop the dead replica so no later
-        RPC routes at it.  Returns the per-pid scrub reports.
+        See :meth:`repro.kernel.recovery.CrashRecovery.crash_kernel`.
         """
-        kernel = self.kernels.get(name)
-        if kernel is None:
-            raise KeyError(f"unknown machine {name}")
-        if not kernel.alive:
-            return {}
-        kernel.alive = False
-        self.messaging.fenced.add(name)
-        if self.tracer is not None:
-            self.tracer.instant(
-                "kernel.crash", "fault", track=name, kernel=name
-            )
-            self.tracer.metrics.counter("fault.kernel_crashes").inc()
-        saved: set = set()
-        for service in self._migration_services:
-            saved |= service.threads_with_surviving_copy(name)
-        for thread in list(kernel.threads.values()):
-            if thread.tid in saved or thread.state == ThreadState.DONE:
-                continue
-            self.fail_thread(thread, f"kernel {name} crashed")
-        scrubs: Dict[int, object] = {}
-        for pid in sorted(self.processes):
-            process = self.processes[pid]
-            if process.dsm is not None:
-                scrubs[pid] = process.dsm.scrub_dead_kernel(name)
-        self.services.scrub_kernel(name)
-        if self.vfs.home == name:
-            # The replicated VFS fails over to the next live kernel.
-            survivors = [
-                m for m in self.machine_order if self.kernels[m].alive
-            ]
-            if survivors:
-                self.vfs.home = survivors[0]
-        return scrubs
+        return self.recovery.crash_kernel(name)
 
     def fail_thread(self, thread: Thread, reason: str) -> None:
         """Kill one thread loudly: record the failure, wake joiners."""
-        if thread.state == ThreadState.DONE:
-            return
-        self.kernels[thread.machine_name].release_thread(thread)
-        thread.state = ThreadState.DONE
-        thread.blocked_on = None
-        if thread.exit_value is None:
-            thread.exit_value = 0.0
-        process = thread.process
-        process.failed_threads[thread.tid] = reason
-        # Joiners observe the death (join returns) instead of hanging.
-        for other in process.threads.values():
-            if other.blocked_on == ("join", thread.tid):
-                other.wake(max(other.vtime, thread.vtime))
-                if self.kernels[other.machine_name].alive:
-                    self.machines[other.machine_name].thread_started()
+        self.recovery.fail_thread(thread, reason)
 
     # ---------------------------------------------------------- teardown
 
     def reap_process(self, process: Process) -> None:
-        for thread in process.threads.values():
-            if thread.state != ThreadState.DONE:
-                self.kernels[thread.machine_name].release_thread(thread)
-                thread.state = ThreadState.DONE
-        self.services.forget_process(process.pid)
-        self.processes.pop(process.pid, None)
-
-
-def boot_testbed(
-    clock: Optional[Clock] = None, tracer=None
-) -> PopcornSystem:
-    """The paper's dual-server setup: X-Gene 1 + Xeon over Dolphin PCIe.
-
-    ``tracer`` opts into span tracing; when omitted, ``REPRO_TRACE=1``
-    in the environment attaches a fresh tracer (else tracing is off and
-    the run is bit-identical to an untraced one).
-    """
-    if tracer is None:
-        from repro.telemetry.spans import maybe_tracer
-
-        tracer = maybe_tracer()
-    clock = clock if clock is not None else Clock()
-    arm = make_xgene1("arm-server", clock)
-    x86 = make_xeon_e5_1650v2("x86-server", clock)
-    return PopcornSystem([arm, x86], make_dolphin_pxh810(), clock, tracer=tracer)
+        self.lifecycle.reap_process(process)

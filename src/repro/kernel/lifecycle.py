@@ -1,0 +1,169 @@
+"""Process and thread lifecycle services of a replicated-kernel system.
+
+One of the three components the old ``PopcornSystem`` god object was
+split into (the others being :mod:`repro.kernel.testbed` for boot and
+:mod:`repro.kernel.recovery` for crash handling).
+:class:`ProcessLifecycle` owns everything about *creating and ending
+work*: pid/tid allocation, loading multi-ISA binaries, spawning
+threads parked at a function entry, posting migration requests through
+the vDSO, and reaping finished processes.
+
+The component operates through the system facade it is handed (for the
+machine table, kernels, messaging and replicated services) and keeps
+only the lifecycle state itself, so per-node state stays a small
+struct when systems are instantiated by the thousand.
+"""
+
+from typing import Dict, List, Optional
+
+from repro.compiler.toolchain import MultiIsaBinary
+from repro.kernel.loader import init_thread_tls, load_binary, thread_pointer_for
+from repro.kernel.namespaces import HeterogeneousContainer
+from repro.kernel.process import Process, Thread, ThreadState
+from repro.runtime.stack import Frame, UserStack
+
+
+class ProcessLifecycle:
+    """Creates, migrates and reaps the processes of one system."""
+
+    def __init__(self, system):
+        self.system = system
+        self.processes: Dict[int, Process] = {}
+        self._next_pid = 1
+        self._next_tid = 1
+
+    def reserve_ids(self, next_pid: int, next_tid: int) -> None:
+        """Bump the id allocators to at least the given values.
+
+        Used by checkpoint restore: a restored process carries pids and
+        tids minted by an earlier system, and later allocations must
+        not collide with them.
+        """
+        self._next_pid = max(self._next_pid, next_pid)
+        self._next_tid = max(self._next_tid, next_tid)
+
+    # ------------------------------------------------------------- exec
+
+    def exec_process(
+        self,
+        binary: MultiIsaBinary,
+        machine_name: str,
+        container: Optional[HeterogeneousContainer] = None,
+        argv: Optional[List[float]] = None,
+    ) -> Process:
+        """Load a multi-ISA binary and create its main thread."""
+        system = self.system
+        if machine_name not in system.machines:
+            raise KeyError(f"unknown machine {machine_name}")
+        if system.isa_of(machine_name) not in binary.binaries:
+            raise ValueError(
+                f"binary lacks code for {system.isa_of(machine_name)}"
+            )
+        pid = self._next_pid
+        self._next_pid += 1
+        process = load_binary(
+            binary,
+            pid,
+            machine_name,
+            system.messaging,
+            system.machine_order,
+            dsm_backup=system.dsm_backup,
+        )
+        process.container = container or HeterogeneousContainer(
+            f"ctr-{binary.module.name}-{pid}"
+        )
+        process.container.span_to(machine_name)
+        process.container.adopt(pid)
+        self.processes[pid] = process
+        self.spawn_thread(
+            process,
+            machine_name,
+            function=binary.module.entry,
+            args=list(argv or []),
+        )
+        return process
+
+    def spawn_thread(
+        self,
+        process: Process,
+        machine_name: str,
+        function: str,
+        args: List[float],
+    ) -> Thread:
+        """Create a thread parked at ``function``'s entry."""
+        system = self.system
+        binary = process.binary
+        if function not in binary.module.functions:
+            raise KeyError(f"no function {function} in {binary.module.name}")
+        tid = self._next_tid
+        self._next_tid += 1
+        stack_index = process.next_stack_index()
+        low, high = binary.vm_map.stack_region(stack_index)
+        stack = UserStack(low, high)
+        tp = thread_pointer_for(binary, stack_index)
+        init_thread_tls(process.space, binary, tp)
+
+        thread = Thread(tid, process, machine_name, stack, tp)
+        thread.start_function = function
+        thread.start_args = list(args)
+        isa_name = system.isa_of(machine_name)
+        mf = binary.machine_function(isa_name, function)
+        cfa = stack.top
+        thread.frames = [Frame(mf=mf, cfa=cfa)]
+        thread.pc = (mf.fn.entry, 0)
+        # Seed the register file for the current ISA.
+        thread.regs = {r.name: 0 for r in mf.isa.regfile.all()}
+        thread.regs[mf.isa.regfile.sp] = cfa - mf.frame.frame_size
+        thread.regs[mf.isa.regfile.fp] = cfa
+        # Bind start arguments into the entry function's parameter
+        # locations (register or frame slot), as the clone trampoline
+        # would.
+        for (pname, _vt), value in zip(mf.fn.params, args):
+            reg = mf.alloc.reg_assignment.get(pname)
+            if reg is not None:
+                thread.regs[reg] = value
+            else:
+                process.space.write(
+                    cfa - mf.frame.slot_depths[pname], value
+                )
+
+        process.threads[tid] = thread
+        system.kernels[machine_name].adopt_thread(thread)
+        # Publish the thread in the replicated process table so every
+        # kernel can resolve it; the registration cost is charged to
+        # the spawn syscall by the caller.
+        thread.spawn_service_cost = system.services.proctable.register_thread(
+            machine_name, process.pid, tid, machine_name
+        )
+        return thread
+
+    # -------------------------------------------------------- migration
+
+    def request_migration(self, process: Process, machine_name: str) -> None:
+        """Set the vDSO migration flag for every thread of ``process``.
+
+        Threads notice at their next migration point and migrate
+        themselves — there is no stop-the-world.
+        """
+        if machine_name not in self.system.machines:
+            raise KeyError(f"unknown machine {machine_name}")
+        for thread in process.alive_threads:
+            process.vdso.request_migration(thread.tid, machine_name)
+
+    def request_thread_migration(
+        self, thread: Thread, machine_name: str
+    ) -> None:
+        """Set the vDSO migration flag for one thread."""
+        thread.process.vdso.request_migration(thread.tid, machine_name)
+
+    # ---------------------------------------------------------- teardown
+
+    def reap_process(self, process: Process) -> None:
+        """Release a finished process's threads and replicated state."""
+        system = self.system
+        for thread in process.threads.values():
+            if thread.state != ThreadState.DONE:
+                system.kernels[thread.machine_name].release_thread(thread)
+                thread.state = ThreadState.DONE
+        system.services.forget_process(process.pid)
+        self.processes.pop(process.pid, None)

@@ -1,0 +1,95 @@
+"""Crash handling for a replicated-kernel system.
+
+One of the three components the old ``PopcornSystem`` god object was
+split into (see also :mod:`repro.kernel.testbed` for boot and
+:mod:`repro.kernel.lifecycle` for process lifecycle).
+:class:`CrashRecovery` owns the fault plane: fencing a dead kernel off
+the messaging layer, killing its resident threads (minus those saved
+by an in-flight migration's resume token), scrubbing hDSM directories
+and replicated-service replicas, and failing over the VFS home.
+"""
+
+from typing import Dict, List
+
+from repro.kernel.process import Thread, ThreadState
+
+
+class CrashRecovery:
+    """Fences crashed kernels and fails threads loudly."""
+
+    def __init__(self, system):
+        self.system = system
+        # Migration services consulted during crash recovery: a thread
+        # whose context already shipped to a live destination survives
+        # its source kernel's death via the resume token.
+        self.migration_services: List = []
+
+    def register_migration_service(self, service) -> None:
+        """Let ``service`` veto thread death during crash recovery."""
+        self.migration_services.append(service)
+
+    def crash_kernel(self, name: str) -> Dict[int, object]:
+        """Kill kernel ``name``: fence it, kill its threads, scrub state.
+
+        Mirrors what a confirmed failure-detector verdict triggers: the
+        dead kernel is fenced off the messaging layer (it neither sends
+        nor receives), resident threads die — except those whose
+        migration transaction already shipped their context to a live
+        destination (the two-phase hand-off's resume token keeps exactly
+        one live copy) — every process's hDSM directory is scrubbed,
+        and the replicated services drop the dead replica so no later
+        RPC routes at it.  Returns the per-pid scrub reports.
+        """
+        system = self.system
+        kernel = system.kernels.get(name)
+        if kernel is None:
+            raise KeyError(f"unknown machine {name}")
+        if not kernel.alive:
+            return {}
+        kernel.alive = False
+        system.messaging.fenced.add(name)
+        if system.tracer is not None:
+            system.tracer.instant(
+                "kernel.crash", "fault", track=name, kernel=name
+            )
+            system.tracer.metrics.counter("fault.kernel_crashes").inc()
+        saved: set = set()
+        for service in self.migration_services:
+            saved |= service.threads_with_surviving_copy(name)
+        for thread in list(kernel.threads.values()):
+            if thread.tid in saved or thread.state == ThreadState.DONE:
+                continue
+            self.fail_thread(thread, f"kernel {name} crashed")
+        scrubs: Dict[int, object] = {}
+        for pid in sorted(system.processes):
+            process = system.processes[pid]
+            if process.dsm is not None:
+                scrubs[pid] = process.dsm.scrub_dead_kernel(name)
+        system.services.scrub_kernel(name)
+        if system.vfs.home == name:
+            # The replicated VFS fails over to the next live kernel.
+            survivors = [
+                m for m in system.machine_order if system.kernels[m].alive
+            ]
+            if survivors:
+                system.vfs.home = survivors[0]
+        return scrubs
+
+    def fail_thread(self, thread: Thread, reason: str) -> None:
+        """Kill one thread loudly: record the failure, wake joiners."""
+        system = self.system
+        if thread.state == ThreadState.DONE:
+            return
+        system.kernels[thread.machine_name].release_thread(thread)
+        thread.state = ThreadState.DONE
+        thread.blocked_on = None
+        if thread.exit_value is None:
+            thread.exit_value = 0.0
+        process = thread.process
+        process.failed_threads[thread.tid] = reason
+        # Joiners observe the death (join returns) instead of hanging.
+        for other in process.threads.values():
+            if other.blocked_on == ("join", thread.tid):
+                other.wake(max(other.vtime, thread.vtime))
+                if system.kernels[other.machine_name].alive:
+                    system.machines[other.machine_name].thread_started()

@@ -1,0 +1,65 @@
+"""Testbed construction for replicated-kernel systems.
+
+One of the three components the old ``PopcornSystem`` god object was
+split into (see also :mod:`repro.kernel.lifecycle` and
+:mod:`repro.kernel.recovery`).  This module owns *boot*: assembling
+machines, interconnect and clock into a runnable system.
+
+:func:`boot_testbed` builds the paper's dual-server setup;
+:func:`boot_single` boots a one-machine system for a given ISA, used by
+the fleet simulator's nested-node sampler to measure real workload
+durations without paying for a full testbed per fleet node.
+"""
+
+from typing import Optional
+
+from repro.machine.interconnect import make_dolphin_pxh810
+from repro.machine.machine import Machine, make_xeon_e5_1650v2, make_xgene1
+from repro.sim.clock import Clock
+
+
+def boot_testbed(clock: Optional[Clock] = None, tracer=None):
+    """The paper's dual-server setup: X-Gene 1 + Xeon over Dolphin PCIe.
+
+    ``tracer`` opts into span tracing; when omitted, ``REPRO_TRACE=1``
+    in the environment attaches a fresh tracer (else tracing is off and
+    the run is bit-identical to an untraced one).
+    """
+    from repro.kernel.kernel import PopcornSystem
+
+    if tracer is None:
+        from repro.telemetry.spans import maybe_tracer
+
+        tracer = maybe_tracer()
+    clock = clock if clock is not None else Clock()
+    arm = make_xgene1("arm-server", clock)
+    x86 = make_xeon_e5_1650v2("x86-server", clock)
+    return PopcornSystem([arm, x86], make_dolphin_pxh810(), clock, tracer=tracer)
+
+
+def machine_for_isa(isa: str, name: str, clock: Optional[Clock] = None) -> Machine:
+    """Build the reference machine model for an ISA name.
+
+    ``x86`` (or ``x86-64``) maps to the Xeon E5-1650 v2; ``arm`` (or
+    ``arm64``) to the X-Gene 1 — the two servers of the paper's testbed.
+    """
+    key = isa.lower()
+    if key in ("x86", "x86-64", "x86_64"):
+        return make_xeon_e5_1650v2(name, clock)
+    if key in ("arm", "arm64", "aarch64"):
+        return make_xgene1(name, clock)
+    raise ValueError(f"no reference machine for ISA {isa!r}")
+
+
+def boot_single(isa: str, clock: Optional[Clock] = None, tracer=None):
+    """Boot a one-machine system of the given ISA.
+
+    No tracer is attached by default (unlike :func:`boot_testbed`):
+    callers boot these by the dozen for duration sampling, and tracing
+    every one would change neither results nor determinism, only cost.
+    """
+    from repro.kernel.kernel import PopcornSystem
+
+    clock = clock if clock is not None else Clock()
+    machine = machine_for_isa(isa, f"{isa}-node", clock)
+    return PopcornSystem([machine], make_dolphin_pxh810(), clock, tracer=tracer)

@@ -63,6 +63,33 @@ class EventQueue:
             return None
         return self._heap[0].time
 
+    def peek(self) -> Optional[Event]:
+        """Return (without removing) the earliest live event."""
+        self.peek_time()  # drops cancelled events off the top
+        return self._heap[0] if self._heap else None
+
+    def pop_due(self, deadline: float) -> Optional[Event]:
+        """Pop the earliest live event with ``time <= deadline``.
+
+        Returns ``None`` when the queue is empty or the head event is
+        still in the future — the caller's loop terminates without
+        having to compare times itself.  This is the primitive the
+        unified cluster loop uses to drain everything due "now".
+        """
+        head = self.peek()
+        if head is None or head.time > deadline:
+            return None
+        return self.pop()
+
+    def live(self) -> "list[Event]":
+        """A snapshot of the pending (non-cancelled) events, unsorted.
+
+        Exposed so schedulers built on the queue can ask questions like
+        "is any non-heartbeat event still pending?" without reaching
+        into the heap representation.
+        """
+        return [e for e in self._heap if not e.cancelled]
+
 
 class Simulator:
     """Drives a :class:`Clock` through an :class:`EventQueue`.

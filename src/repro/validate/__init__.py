@@ -119,6 +119,15 @@ def make_cluster_checker():
     return None
 
 
+def make_fleet_checker():
+    """A FleetConservationChecker, or None when checking is disabled."""
+    if enabled():
+        from repro.validate.conservation import FleetConservationChecker
+
+        return FleetConservationChecker()
+    return None
+
+
 __all__ = [
     "InvariantViolation",
     "enabled",
@@ -128,5 +137,6 @@ __all__ = [
     "make_dsm_service",
     "make_stack_transformer",
     "make_cluster_checker",
+    "make_fleet_checker",
     "check_crash_consistency",
 ]

@@ -167,3 +167,149 @@ class ClusterConservationChecker:
                 f"lost work + overhead ({carved}) exceeds total busy "
                 f"seconds ({sim.busy_seconds})",
             )
+
+
+class FleetConservationChecker:
+    """Bookkeeping audit of one FleetSimulator run.
+
+    Invoked at every sparse event (wave slot, crash, repair) and once
+    at result time, re-deriving what must hold over the flat per-node
+    and per-service structs:
+
+    * slot conservation — per ISA, live free-pool entries plus occupied
+      slots on live nodes equal the live nodes' total capacity;
+    * placement consistency — every service sits in the instance list
+      of the node it names, on a node of its recorded ISA, and services
+      on dead nodes are exactly the stranded set;
+    * counter conservation — completed/in-SLO/stall totals equal the
+      sums over services, and per-node busy core-seconds equal the
+      per-service busy seconds weighted by granted cores;
+    * monotonicity — per-service ``free_at`` and the global counters
+      never decrease between checks.
+    """
+
+    CHECKER = "fleet"
+
+    def __init__(self, log: Optional[ValidationLog] = None):
+        self.log = log if log is not None else default_log()
+        self._last_free_at: Dict[int, float] = {}
+        self._last_completed = 0
+
+    def _fail(self, sim, invariant: str, detail: str) -> None:
+        state = {
+            "now": sim._sim.now,
+            "services": len(sim.services),
+            "nodes": len(sim.nodes),
+            "counters": dict(sim._counters),
+            "stranded": list(sim._stranded),
+        }
+        violation = InvariantViolation(self.CHECKER, invariant, detail, state)
+        self.log.note_violation(violation)
+        raise violation
+
+    def check(self, sim, where: str) -> None:
+        """Audit ``sim`` at event ``where``."""
+        self.log.note_check(self.CHECKER)
+        self._check_slots(sim, where)
+        self._check_placement(sim, where)
+        self._check_counters(sim, where)
+        self._check_monotonicity(sim, where)
+
+    def _check_slots(self, sim, where: str) -> None:
+        spn = sim.config.slots_per_node
+        for isa in sim.config.nodes:
+            live_free = sum(
+                1 for idx in sim._free_slots[isa] if sim.nodes[idx].alive
+            )
+            occupied = 0
+            capacity = 0
+            for node in sim.nodes:
+                if node.isa != isa or not node.alive:
+                    continue
+                occupied += len(node.instances)
+                capacity += spn
+            if live_free + occupied != capacity:
+                self._fail(
+                    sim, "slot-conservation",
+                    f"[{where}] {isa}: free {live_free} + occupied "
+                    f"{occupied} != live capacity {capacity}",
+                )
+
+    def _check_placement(self, sim, where: str) -> None:
+        stranded = set(sim._stranded)
+        for inst in sim.services:
+            node = sim.nodes[inst.node_idx]
+            if inst.sid not in node.instances:
+                self._fail(
+                    sim, "placement-consistency",
+                    f"[{where}] service {inst.sid} not in node "
+                    f"{inst.node_idx}'s instance list",
+                )
+            if node.isa != inst.isa:
+                self._fail(
+                    sim, "placement-consistency",
+                    f"[{where}] service {inst.sid} records ISA {inst.isa} "
+                    f"but sits on a {node.isa} node",
+                )
+            if not node.alive and inst.sid not in stranded:
+                self._fail(
+                    sim, "placement-consistency",
+                    f"[{where}] service {inst.sid} on dead node "
+                    f"{inst.node_idx} but not marked stranded",
+                )
+
+    def _check_counters(self, sim, where: str) -> None:
+        c = sim._counters
+        done = sum(inst.jobs_done for inst in sim.services)
+        if done != c["completed"]:
+            self._fail(
+                sim, "counter-conservation",
+                f"[{where}] sum(jobs_done) {done} != completed "
+                f"{c['completed']}",
+            )
+        in_slo = sum(inst.jobs_in_slo for inst in sim.services)
+        if in_slo != c["in_slo"]:
+            self._fail(
+                sim, "counter-conservation",
+                f"[{where}] sum(jobs_in_slo) {in_slo} != in_slo "
+                f"{c['in_slo']}",
+            )
+        if c["in_slo"] + c["violations"] != c["completed"]:
+            self._fail(
+                sim, "counter-conservation",
+                f"[{where}] in_slo {c['in_slo']} + violations "
+                f"{c['violations']} != completed {c['completed']}",
+            )
+        stall = sum(inst.stall_seconds for inst in sim.services)
+        if abs(stall - sim._stall_seconds) > _EPS * max(1.0, stall):
+            self._fail(
+                sim, "counter-conservation",
+                f"[{where}] sum(stall) {stall} != recorded "
+                f"{sim._stall_seconds}",
+            )
+        by_service = sum(inst.busy_core_seconds for inst in sim.services)
+        by_node = sum(node.busy_core_seconds for node in sim.nodes)
+        if abs(by_service - by_node) > _EPS * max(1.0, by_node):
+            self._fail(
+                sim, "busy-conservation",
+                f"[{where}] per-service busy core-seconds {by_service} "
+                f"!= per-node total {by_node}",
+            )
+
+    def _check_monotonicity(self, sim, where: str) -> None:
+        if sim._counters["completed"] < self._last_completed:
+            self._fail(
+                sim, "monotonicity",
+                f"[{where}] completed went backwards: "
+                f"{sim._counters['completed']} < {self._last_completed}",
+            )
+        self._last_completed = sim._counters["completed"]
+        for inst in sim.services:
+            last = self._last_free_at.get(inst.sid)
+            if last is not None and inst.free_at < last - _EPS:
+                self._fail(
+                    sim, "monotonicity",
+                    f"[{where}] service {inst.sid} free_at went backwards: "
+                    f"{inst.free_at} < {last}",
+                )
+            self._last_free_at[inst.sid] = inst.free_at

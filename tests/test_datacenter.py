@@ -215,3 +215,99 @@ def self_result(energy, makespan):
         migrations=0,
         job_count=1,
     )
+
+
+class TestUnificationGolden:
+    """Bit-identity of cluster runs across the DES unification.
+
+    These exact values were recorded on the pre-unification
+    ``ClusterSimulator`` (its own event loop, no ``sim.clock``
+    nesting).  The unified simulator must reproduce them to the last
+    bit: the refactor changed the machinery, not the model.
+    """
+
+    def test_sustained_golden(self):
+        specs, conc = sustained_backfill(DeterministicRng(11), 20, 4)
+        result = ClusterSimulator(
+            het_machines(), make_policy("dynamic-balanced")
+        ).run_sustained(specs, conc)
+        assert result.makespan == 31.240173896296305
+        assert result.total_energy == 2736.0251435424757
+        assert result.migrations == 2
+        assert result.mean_response == 5.071762475884219
+
+    def test_periodic_golden(self):
+        result = ClusterSimulator(
+            het_machines(), make_policy("dynamic-balanced")
+        ).run_periodic(periodic_waves(DeterministicRng(3)))
+        assert result.makespan == 767.262801443518
+        assert result.total_energy == 28401.323567397456
+        assert result.migrations == 25
+        assert result.mean_response == 6.493590158901034
+
+    def test_faulted_golden(self):
+        from repro.faults import (
+            DetectorConfig,
+            EvacuateLive,
+            FailureDetector,
+            FaultSchedule,
+            NodeCrash,
+        )
+
+        specs, conc = sustained_backfill(DeterministicRng(7), 16, 4)
+        result = ClusterSimulator(
+            het_machines(), make_policy("dynamic-balanced"),
+            faults=FaultSchedule(
+                [NodeCrash(time=1.5, node="x86", repair_seconds=3.0)]
+            ),
+            detector=FailureDetector(DetectorConfig()),
+            recovery=EvacuateLive(),
+        ).run_sustained(specs, conc)
+        assert result.makespan == 16.856347540776625
+        assert result.total_energy == 587.1604358392428
+        assert result.migrations == 6
+        assert result.handoffs == 2
+        assert result.jobs_evacuated == 2
+        assert result.mttd == 2.5
+        assert result.busy_seconds == 26.01058420775216
+        assert result.fault_events == 2
+
+
+class TestNestedNodes:
+    """Nested PopcornSystem measurements vs the analytic cost model."""
+
+    def test_nested_tracks_analytic(self):
+        from repro.datacenter.job import job_duration
+        from repro.datacenter.nested import NestedNodeSampler
+
+        sampler = NestedNodeSampler(scale=0.01)
+        spec = JobSpec("is", "A", 2)
+        arm, x86 = het_machines()
+        for isa, machine in (("x86-64", x86), ("arm64", arm)):
+            measured = sampler.duration(spec, isa)
+            analytic = job_duration(spec, machine)
+            ratio = measured / analytic
+            assert 0.7 < ratio < 1.4, (isa, measured, analytic)
+
+    def test_nested_is_memoized(self):
+        from repro.datacenter.nested import NestedNodeSampler
+
+        sampler = NestedNodeSampler(scale=0.01)
+        spec = JobSpec("is", "A", 2)
+        first = sampler.duration(spec, "x86-64")
+        assert sampler.duration(spec, "x86-64") == first
+
+    def test_cluster_accepts_nested_nodes(self):
+        from repro.datacenter.nested import NestedNodeSampler
+
+        sampler = NestedNodeSampler(scale=0.01)
+        specs, conc = sustained_backfill(DeterministicRng(5), 6, 2)
+        analytic = ClusterSimulator(
+            het_machines(), make_policy("dynamic-balanced")
+        ).run_sustained(list(specs), conc)
+        nested = ClusterSimulator(
+            het_machines(), make_policy("dynamic-balanced"),
+            nested=sampler, nested_nodes=("arm", "x86"),
+        ).run_sustained(list(specs), conc)
+        assert nested.job_count == analytic.job_count
+        assert 0.5 < nested.makespan / analytic.makespan < 2.0
